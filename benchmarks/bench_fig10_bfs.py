@@ -1,0 +1,84 @@
+"""Fig. 10 reproduction: BFS weak scaling — graph family × exchange strategy.
+
+Paper setup: 2^12 vertices and 2^15 edges per rank, p up to 2^14, families
+GNM / RGG-2D / RHG; strategies: built-in ``MPI_Alltoallv`` (both plain MPI
+and KaMPIng — identical), ``MPI_Neighbor_alltoallv`` (static and
+rebuilt-per-step), KaMPIng sparse (NBX), KaMPIng grid.
+
+Reproduced findings: grid is the most scalable method on RHG (and wins on
+GNM); RGG needs sparse communication (sparse ≈ neighbor ≫ alltoallv); the
+rebuilt-topology variant does not scale.
+"""
+
+import pytest
+
+from repro.perf import bfs_sweep
+
+from benchmarks.conftest import report
+
+FAMILIES = ("gnm", "rgg", "rhg")
+STRATEGIES = ("mpi", "mpi_neighbor", "mpi_neighbor_rebuild",
+              "kamping", "kamping_sparse", "kamping_grid")
+SIM_PS = [4, 8]
+MODEL_PS = [64, 256, 1024, 4096, 16384]
+
+SERIES: dict[tuple, list] = {}
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig10_bfs_weak_scaling(benchmark, family, strategy):
+    def run_sweep():
+        sim = bfs_sweep(family, strategy, SIM_PS, n_per_rank=64,
+                        avg_degree=8.0, simulator_max_p=max(SIM_PS))
+        model = bfs_sweep(family, strategy, MODEL_PS, simulator_max_p=0)
+        return sim + model
+
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    SERIES[(family, strategy)] = points
+    benchmark.extra_info["series"] = {pt.p: round(pt.seconds, 6)
+                                      for pt in points}
+
+    if len(SERIES) == len(FAMILIES) * len(STRATEGIES):
+        lines = []
+        ps = [pt.p for pt in points]
+        for fam in FAMILIES:
+            lines.append(f"--- {fam.upper()} ---")
+            lines.append("strategy                " +
+                         "".join(f"{p:>10}" for p in ps))
+            for strat in STRATEGIES:
+                pts = SERIES[(fam, strat)]
+                lines.append(f"{strat:<24}" +
+                             "".join(f"{pt.seconds:>10.4f}" for pt in pts))
+        lines.append("")
+        lines.append(f"(p ≤ {max(SIM_PS)}: executing simulator at 64 "
+                     f"verts/rank; larger p: analytic model at the paper's "
+                     f"2^12 verts / 2^15 edges per rank)")
+        from repro.reporting import ascii_chart
+
+        for fam in FAMILIES:
+            lines.append("")
+            lines.append(f"[{fam.upper()}]")
+            lines.append(ascii_chart({
+                strat: [(pt.p, pt.seconds) for pt in SERIES[(fam, strat)]
+                        if pt.source == "model"]
+                for strat in STRATEGIES
+            }, height=12))
+        report("Fig. 10 — BFS weak scaling (simulated seconds)",
+               "\n".join(lines))
+
+        last = {key: pts[-1].seconds for key, pts in SERIES.items()}
+        # grid most scalable on RHG; wins on GNM too
+        assert last[("rhg", "kamping_grid")] == min(
+            last[(fam, s)] for (fam, s) in last if fam == "rhg")
+        assert last[("gnm", "kamping_grid")] < last[("gnm", "mpi")]
+        # RGG: only sparse communication is competitive
+        assert last[("rgg", "kamping_sparse")] < last[("rgg", "mpi")] / 20
+        assert last[("rgg", "mpi_neighbor")] < last[("rgg", "mpi")] / 20
+        # rebuilding the topology every step does not scale
+        assert last[("rgg", "mpi_neighbor_rebuild")] \
+            > 2 * last[("rgg", "mpi_neighbor")]
+        # KaMPIng's plain alltoallv path adds nothing over plain MPI
+        for fam in FAMILIES:
+            assert last[(fam, "kamping")] == pytest.approx(
+                last[(fam, "mpi")], rel=0.01)

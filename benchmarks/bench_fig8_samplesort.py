@@ -1,0 +1,62 @@
+"""Fig. 8 reproduction: sample-sort weak scaling across the five bindings.
+
+Paper setup: 10^6 uniform 64-bit integers per rank, up to 256 nodes × 48
+cores; result: every binding tracks plain MPI, except MPL, which is slower
+(its v-collectives route through ``MPI_Alltoallw``).
+
+Here: executing simulator up to 8 ranks (scaled-down data, virtual clocks),
+analytic model — same cost model, full 10^6/rank — out to p = 12288.
+"""
+
+import pytest
+
+from repro.perf import samplesort_sweep
+from repro.perf.samplesort_model import BINDINGS
+
+from benchmarks.conftest import report
+
+SIM_PS = [2, 4, 8]
+MODEL_PS = [48, 192, 768, 3072, 12288]
+SERIES: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("binding", BINDINGS)
+def test_fig8_weak_scaling(benchmark, binding):
+    def run_sweep():
+        sim = samplesort_sweep(binding, SIM_PS, n_per_rank=20_000,
+                               simulator_max_p=max(SIM_PS))
+        model = samplesort_sweep(binding, MODEL_PS, n_per_rank=10**6,
+                                 simulator_max_p=0)
+        return sim + model
+
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    SERIES[binding] = points
+    benchmark.extra_info["series"] = {
+        pt.p: round(pt.seconds, 6) for pt in points
+    }
+
+    if len(SERIES) == len(BINDINGS):
+        header = "binding     " + "".join(f"{pt.p:>9}" for pt in points)
+        rows = [header]
+        for b, pts in SERIES.items():
+            rows.append(f"{b:<12}" + "".join(f"{pt.seconds:>9.4f}"
+                                             for pt in pts))
+        rows.append("")
+        rows.append("(columns 2..{}: executing simulator; rest: analytic "
+                    "model at 10^6 elems/rank)".format(len(SIM_PS) + 1))
+        from repro.reporting import ascii_chart
+
+        chart = ascii_chart({
+            b: [(pt.p, pt.seconds) for pt in pts if pt.source == "model"]
+            for b, pts in SERIES.items()
+        })
+        report("Fig. 8 — sample sort weak scaling (simulated seconds)",
+               "\n".join(rows) + "\n\n" + chart)
+
+        # reproduced findings: KaMPIng == MPI at every scale; MPL slower
+        for (pt_mpi, pt_kamping, pt_mpl) in zip(
+            SERIES["MPI"], SERIES["KaMPIng"], SERIES["MPL"]
+        ):
+            assert pt_kamping.seconds <= pt_mpi.seconds * 1.05
+            if pt_mpl.source == "model":
+                assert pt_mpl.seconds > pt_mpi.seconds

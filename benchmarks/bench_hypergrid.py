@@ -1,0 +1,81 @@
+"""Ablation: indirection dimension of the hypergrid all-to-all (paper §VI).
+
+The future-work generalization implemented in
+:mod:`repro.plugins.hierarchical_alltoall`: start-up latency falls as
+Θ(d·p^{1/d}) as the torus dimension ``d`` grows, while the shipped volume
+grows ×d.  This bench sweeps ``d`` for a latency-bound sparse exchange on
+the executing simulator and an analytic projection at the paper's scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Communicator, extend, send_buf, send_counts
+from repro.core.runner import run
+from repro.mpi import CostModel
+from repro.plugins import HierarchicalAlltoall, balanced_dims
+
+from benchmarks.conftest import report
+
+HComm = extend(Communicator, HierarchicalAlltoall)
+CM = CostModel()
+P_SIM = 16
+DIMS = (1, 2, 3)
+
+_RESULTS: dict[int, dict] = {}
+
+
+def _analytic(p: int, d: int, nbytes_per_rank: float) -> float:
+    """Closed form mirroring the implementation: d hops, count-inferring
+    alltoallv over p^{1/d}-size communicators, ×3 routed payload."""
+    dims = balanced_dims(p, d)
+    t = 0.0
+    for n in dims:
+        t += 2.0 * (n - 1) * (CM.alpha + 2 * CM.overhead)
+        t += 3.0 * nbytes_per_rank * CM.beta
+    return t
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_hypergrid_dimension_ablation(benchmark, d):
+    def once():
+        def main(comm):
+            p, r = comm.size, comm.rank
+            counts = [0] * p
+            counts[(r + 1) % p] = 4
+            data = np.full(4, r, dtype=np.int64)
+            comm.alltoallv_hypergrid(send_buf(data), send_counts(counts), d=d)
+            t0 = comm.raw.clock.now
+            comm.alltoallv_hypergrid(send_buf(data), send_counts(counts), d=d)
+            return comm.raw.clock.now - t0  # steady state: comms cached
+
+        res = run(main, P_SIM, comm_class=HComm, cost_model=CM)
+        return max(res.values)
+
+    seconds = benchmark.pedantic(once, rounds=1, iterations=1)
+    _RESULTS[d] = {
+        "sim_p16": seconds,
+        "model_p4096": _analytic(4096, d, 32.0),
+        "model_p46656": _analytic(46656, d, 32.0),
+    }
+    benchmark.extra_info.update(_RESULTS[d])
+
+    if len(_RESULTS) == len(DIMS):
+        lines = [f"{'d':>3} {'dims(p=16)':>14} {'sim p=16':>12} "
+                 f"{'model p=4096':>14} {'model p=46656':>15}"]
+        for dd in DIMS:
+            r = _RESULTS[dd]
+            lines.append(
+                f"{dd:>3} {str(balanced_dims(P_SIM, dd)):>14} "
+                f"{r['sim_p16'] * 1e6:>10.1f}µs "
+                f"{r['model_p4096'] * 1e6:>12.1f}µs "
+                f"{r['model_p46656'] * 1e6:>13.1f}µs"
+            )
+        lines.append("")
+        lines.append("latency falls as d·p^{1/d}; the d-th hop triples the "
+                     "routed volume (paper §VI trade-off)")
+        report("§VI ablation — hypergrid indirection dimension", "\n".join(lines))
+
+        assert _RESULTS[3]["sim_p16"] < _RESULTS[1]["sim_p16"]
+        assert _RESULTS[3]["model_p46656"] < _RESULTS[2]["model_p46656"] \
+            < _RESULTS[1]["model_p46656"]

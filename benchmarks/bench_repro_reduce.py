@@ -1,0 +1,96 @@
+"""§V-C / Fig. 13 reproduction: reproducible reduce.
+
+Claims: (1) results are bit-identical independent of the rank count, unlike
+a naive allreduce; (2) the fixed-tree scheme is faster than
+gather + local reduction + broadcast because only O(log n) partial results
+cross rank boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Communicator, extend, op, send_buf, send_recv_buf
+from repro.core.runner import run
+from repro.mpi import SUM
+from repro.plugins import ReproducibleReduce
+
+from benchmarks.conftest import report
+
+RRComm = extend(Communicator, ReproducibleReduce)
+N = 40_000
+VALUES = (np.random.default_rng(11).random(N) * 1e9).astype(np.float64)
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _block(vals, p, r):
+    per = len(vals) // p
+    lo = r * per
+    hi = lo + per if r < p - 1 else len(vals)
+    return np.asarray(vals[lo:hi])
+
+
+def _tree_variant(comm):
+    t0 = comm.raw.clock.now
+    out = comm.allreduce_reproducible(_block(VALUES, comm.size, comm.rank), SUM)
+    return float(out), comm.raw.clock.now - t0
+
+
+def _gather_variant(comm):
+    """The baseline the paper says it beats: gather + local reduce + bcast."""
+    t0 = comm.raw.clock.now
+    block = _block(VALUES, comm.size, comm.rank)
+    gathered = comm.gatherv(send_buf(block))
+    if comm.rank == 0:
+        total = 0.0
+        for x in np.asarray(gathered):
+            total = total + x
+    else:
+        total = 0.0
+    comm.compute(2e-9 * (len(VALUES) if comm.rank == 0 else 0))
+    total = comm.bcast(send_recv_buf(float(total)))
+    return float(total), comm.raw.clock.now - t0
+
+
+def _naive_variant(comm):
+    t0 = comm.raw.clock.now
+    local = float(np.sum(_block(VALUES, comm.size, comm.rank)))
+    out = comm.allreduce_single(send_buf(local), op(SUM))
+    return float(out), comm.raw.clock.now - t0
+
+
+VARIANTS = {"tree": _tree_variant, "gather+reduce+bcast": _gather_variant,
+            "naive allreduce": _naive_variant}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_reproducible_reduce(benchmark, variant):
+    fn = VARIANTS[variant]
+
+    def sweep():
+        out = {}
+        for p in (1, 2, 3, 4, 6, 8):
+            res = run(fn, p, comm_class=RRComm)
+            value, seconds = res.values[0]
+            out[p] = (value, seconds)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    distinct = len(set(v for v, _ in out.values()))
+    vtime = max(t for _, t in out.values())
+    _RESULTS[variant] = {"distinct_results": distinct, "vtime_p8": out[8][1]}
+    benchmark.extra_info.update(_RESULTS[variant])
+
+    if len(_RESULTS) == len(VARIANTS):
+        lines = [f"{name:<22} distinct-results(p=1..8)="
+                 f"{r['distinct_results']}   simulated(p=8)={r['vtime_p8']:.6f}s"
+                 for name, r in _RESULTS.items()]
+        lines.append("")
+        lines.append("findings (paper §V-C): tree reduce is p-independent "
+                     "and faster than gather+local+bcast")
+        report("Fig. 13 / §V-C — reproducible reduce", "\n".join(lines))
+
+        assert _RESULTS["tree"]["distinct_results"] == 1
+        assert _RESULTS["naive allreduce"]["distinct_results"] > 1
+        assert _RESULTS["tree"]["vtime_p8"] \
+            < _RESULTS["gather+reduce+bcast"]["vtime_p8"]

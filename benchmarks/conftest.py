@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Every benchmark records two things:
+
+- the **wall time** of running the (threaded or analytic) harness, via
+  pytest-benchmark — useful to keep the harness itself honest;
+- the **simulated time(s)** under the calibrated cost model, attached as
+  ``benchmark.extra_info`` — these are the numbers that reproduce the
+  paper's tables and figures, and they are printed at the end of the run.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Queue a table/figure reproduction for the end-of-run summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction output")
+    for title, body in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"=== {title} ===")
+        for line in body.splitlines():
+            tr.write_line(line)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""User-level failure mitigation with the ULFM plugin (paper §V-B, Fig. 12).
+
+A rank dies mid-computation; the survivors catch ``MPIFailureDetected`` as an
+idiomatic exception, revoke the communicator, agree, shrink to the survivors,
+and finish the job on the smaller communicator — the exact control flow of
+the paper's Fig. 12, with exceptions instead of return codes.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core import Communicator, extend, op, run, send_buf
+from repro.mpi import SUM
+from repro.plugins import MPIFailureDetected, ULFM
+
+FTComm = extend(Communicator, ULFM)
+
+VICTIM = 2
+
+
+def main(comm):
+    # phase 1: everyone contributes
+    total = comm.allreduce_single(send_buf(comm.rank + 1), op(SUM))
+
+    # ...then one rank dies
+    if comm.rank == VICTIM:
+        comm.raw.kill_self()
+
+    # phase 2: Fig. 12 — handle the failure and continue on the survivors
+    try:
+        comm.allreduce_single(send_buf(1), op(SUM))
+        survived_directly = True
+    except MPIFailureDetected as exc:
+        survived_directly = False
+        if not comm.is_revoked:
+            comm.revoke()
+        # create a new communicator containing only the surviving processes
+        comm = comm.shrink(generation=1)
+
+    after = comm.allreduce_single(send_buf(1), op(SUM))
+    return {
+        "initial_sum": total,
+        "survivors": comm.size,
+        "post_failure_sum": after,
+        "needed_recovery": not survived_directly,
+    }
+
+
+if __name__ == "__main__":
+    result = run(main, num_ranks=6, comm_class=FTComm)
+    for rank, value in enumerate(result.values):
+        if value is None:
+            print(f"rank {rank}: died (injected failure)")
+        else:
+            print(f"rank {rank}: {value}")
+    survivors = [v for v in result.values if v is not None]
+    assert all(v["survivors"] == 5 and v["post_failure_sum"] == 5
+               for v in survivors)
+    print(f"\nrecovered on {survivors[0]['survivors']} survivors ✓ "
+          f"(failed ranks: {sorted(result.failed)})")

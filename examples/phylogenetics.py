@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The RAxML-NG integration experiment (paper §IV-C, Fig. 11).
+
+A parsimony tree search distributes alignment sites over ranks and drives a
+steady stream of small broadcasts (candidate topologies, serialized objects)
+and reductions (scores).  The experiment swaps the application's hand-rolled
+MPI abstraction layer for KaMPIng one-liners and verifies: identical results,
+fewer raw MPI calls, no measurable slowdown.
+
+Run:  python examples/phylogenetics.py
+"""
+
+from repro.apps.phylo import (
+    HandRolledParallelContext,
+    KampingParallelContext,
+    local_site_block,
+    parsimony_search,
+    random_alignment,
+)
+from repro.core import Communicator, run
+
+NUM_TAXA = 12
+NUM_SITES = 600
+P = 6
+
+ALIGNMENT = random_alignment(NUM_TAXA, NUM_SITES, seed=33)
+
+
+def main(comm, layer):
+    sites = local_site_block(ALIGNMENT, comm.size, comm.rank)
+    if layer == "hand-rolled":
+        ctx = HandRolledParallelContext(comm.raw)
+    else:
+        ctx = KampingParallelContext(comm)
+    result = parsimony_search(ctx, sites, num_taxa=NUM_TAXA, iterations=80,
+                              seed=11)
+    return result.best_score, result.accepted_moves, result.mpi_calls_issued
+
+
+if __name__ == "__main__":
+    print(f"parsimony search: {NUM_TAXA} taxa × {NUM_SITES} sites on {P} ranks\n")
+    outcomes = {}
+    for layer in ("hand-rolled", "kamping"):
+        res = run(main, P, args=(layer,))
+        score, accepted, calls = res.values[0]
+        outcomes[layer] = (score, accepted, calls, res.max_time)
+        print(f"{layer:<12} best score {score}, {accepted} accepted moves, "
+              f"{calls} raw MPI calls, {res.max_time * 1e3:.2f} ms simulated")
+
+    before, after = outcomes["hand-rolled"], outcomes["kamping"]
+    assert before[:2] == after[:2], "results must be identical"
+    print(f"\nidentical search results ✓")
+    print(f"raw MPI calls: {before[2]} -> {after[2]} "
+          f"(one serialized bcast replaces the two-step broadcast)")
+    print(f"overhead: {after[3] / before[3] - 1:+.2%} simulated "
+          f"(paper: 'no measurable performance overhead')")

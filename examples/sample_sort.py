@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Distributed sample sort (paper Fig. 7) and the sorter plugin.
+
+Sorts a distributed array of random integers: local sampling, an
+``allgather`` of the samples, splitter selection, one count-inferring
+``alltoallv``, and a final local sort — first written out in KaMPIng style,
+then as the one-line call the ``DistributedSorter`` plugin ships (§V).
+
+Run:  python examples/sample_sort.py
+"""
+
+import numpy as np
+
+from repro.apps.sorting.sample_sort import sample_sort_kamping
+from repro.core import Communicator, extend, run
+from repro.plugins import DistributedSorter
+
+SortingComm = extend(Communicator, DistributedSorter)
+
+
+def main(comm):
+    rng = np.random.default_rng(comm.rank)
+    data = rng.integers(0, 10**9, size=100_000, dtype=np.int64)
+
+    # Fig. 7: the explicit sample sort over the KaMPIng API
+    sorted_block = sample_sort_kamping(comm, data.copy())
+
+    # ... or the STL-style plugin one-liner
+    plugin_block = comm.sort(data.copy())
+
+    if comm.rank == 0:
+        print(f"ranks: {comm.size}, elements: {100_000 * comm.size:,}")
+        print(f"rank 0 block: {len(sorted_block):,} elements, "
+              f"head {sorted_block[:5].tolist()}")
+        print(f"plugin sort block: {len(plugin_block):,} elements "
+              f"(splitter sampling differs, global order identical)")
+    return sorted_block
+
+
+if __name__ == "__main__":
+    result = run(main, num_ranks=8, comm_class=SortingComm)
+    merged = np.concatenate(result.values)
+    assert (np.diff(merged) >= 0).all(), "global order violated"
+    print(f"globally sorted ✓   simulated time: {result.max_time * 1e3:.2f} ms")

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` (or a ``.pth`` file pointing at ``src/``) installs the package in
+editable mode without needing wheels.
+"""
+from setuptools import setup
+
+setup()

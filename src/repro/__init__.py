@@ -1,0 +1,26 @@
+"""Reproduction of "KaMPIng: Flexible and (Near) Zero-Overhead C++ Bindings for MPI".
+
+The package is organised in layers:
+
+- :mod:`repro.mpi` — a from-scratch, in-process MPI runtime (threads as ranks,
+  virtual-time cost model, PMPI-style profiling). This plays the role of the
+  "plain C MPI" substrate the paper builds on.
+- :mod:`repro.core` — the KaMPIng bindings themselves: named parameters,
+  inference of omitted parameters, resize policies, a flexible type system,
+  non-blocking safety, and a plugin architecture.
+- :mod:`repro.plugins` — the plugins shipped with the paper: grid all-to-all,
+  NBX sparse all-to-all, ULFM fault tolerance, reproducible reduce, and a
+  distributed sorter.
+- :mod:`repro.bindings` — emulations of the comparator binding libraries
+  (Boost.MPI, MPL, RWTH-MPI) used by the paper's evaluation.
+- :mod:`repro.apps` — the application benchmarks (sorting, suffix arrays,
+  graph algorithms, phylogenetic inference).
+- :mod:`repro.perf` — the analytic large-scale performance evaluator.
+"""
+
+__version__ = "1.0.0"
+
+from repro.mpi import CostModel, RunResult, run_mpi
+from repro.core import Communicator
+
+__all__ = ["run_mpi", "CostModel", "RunResult", "Communicator", "__version__"]

@@ -1,0 +1,12 @@
+"""``repro.apps`` — the paper's application benchmarks (§IV).
+
+- :mod:`repro.apps.sorting` — vector allgather and sample sort, implemented
+  comparably in all five binding styles (Table I, Fig. 7, Fig. 8);
+- :mod:`repro.apps.suffix` — distributed suffix array construction: prefix
+  doubling and DC3 (§IV-A);
+- :mod:`repro.apps.graphs` — distributed graph substrate, generators (GNM,
+  RGG-2D, RHG), BFS with pluggable frontier exchange (Fig. 9/10), and
+  size-constrained label propagation (§IV-B);
+- :mod:`repro.apps.phylo` — the RAxML-NG-analog parsimony mini-app with the
+  before/after communication abstraction layers (§IV-C, Fig. 11).
+"""

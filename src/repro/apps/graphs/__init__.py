@@ -1,0 +1,21 @@
+"""Distributed graph algorithms (paper §IV-B, Fig. 9/10)."""
+
+from repro.apps.graphs.graph import DistGraph, block_owner
+from repro.apps.graphs.generators import generate_gnm, generate_rgg2d, generate_rhg
+from repro.apps.graphs.bfs import bfs, UNDEFINED
+from repro.apps.graphs.exchangers import (
+    EXCHANGERS,
+    AlltoallvExchanger,
+    GridExchanger,
+    NeighborExchanger,
+    NeighborRebuildExchanger,
+    SparseExchanger,
+)
+
+__all__ = [
+    "DistGraph", "block_owner",
+    "generate_gnm", "generate_rgg2d", "generate_rhg",
+    "bfs", "UNDEFINED",
+    "EXCHANGERS", "AlltoallvExchanger", "NeighborExchanger",
+    "NeighborRebuildExchanger", "SparseExchanger", "GridExchanger",
+]

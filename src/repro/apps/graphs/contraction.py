@@ -1,0 +1,129 @@
+"""Distributed graph contraction — the other half of dKaMinPar's coarsening.
+
+The paper (§IV-B) describes dKaMinPar as using "size-constrained label
+propagation to iteratively *cluster and contract* the input graph, shrinking
+it down until its size falls below a certain threshold".  Label propagation
+lives in :mod:`repro.apps.graphs.labelprop`; this module supplies the
+contraction and the multilevel driver:
+
+1. densify the surviving cluster ids into ``[0, n_coarse)`` (an allgather of
+   locally-used ids — simulator-scale graphs are small);
+2. translate every edge to coarse endpoints and ship it to the owner of its
+   coarse source (one count-inferring alltoallv);
+3. deduplicate parallel edges and drop self-loops on the receiving side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.graphs.ghost_layer import GraphCommLayer
+from repro.apps.graphs.graph import DistGraph, block_bounds, block_owner, from_edge_list
+from repro.apps.graphs.labelprop import LabelPropagationKamping
+from repro.core import Communicator, send_buf, send_counts
+
+
+def densify_labels(comm: Communicator, graph: DistGraph,
+                   labels: np.ndarray) -> tuple[np.ndarray, int, dict]:
+    """Map surviving cluster ids to dense coarse vertex ids ``[0, n_coarse)``.
+
+    Returns (dense labels for local vertices, coarse vertex count, the
+    global id→dense mapping).
+    """
+    used = np.unique(labels)
+    all_used = comm.allgatherv(send_buf(used))
+    global_ids = np.unique(np.asarray(all_used))
+    mapping = {int(g): i for i, g in enumerate(global_ids)}
+    dense = np.array([mapping[int(l)] for l in labels], dtype=np.int64)
+    return dense, len(global_ids), mapping
+
+
+def contract(comm: Communicator, graph: DistGraph,
+             labels: np.ndarray) -> tuple[DistGraph, np.ndarray]:
+    """Contract ``graph`` by its clustering; returns (coarse graph, dense labels).
+
+    Every vertex's cluster becomes one coarse vertex; parallel edges merge,
+    self-loops (intra-cluster edges) disappear.
+    """
+    p = comm.size
+    dense, n_coarse, mapping = densify_labels(comm, graph, labels)
+
+    # coarse labels of *ghost* endpoints: ship (vertex, dense label) to every
+    # rank that references the vertex — reuse the LP interface machinery
+    ghost_dense: dict[int, int] = {}
+    interested: dict[int, list[int]] = {}
+    for lv in range(graph.local_size):
+        v = graph.first + lv
+        for t in graph.neighbors(v):
+            owner = graph.owner(int(t))
+            if owner != graph.rank:
+                interested.setdefault(owner, []).extend((v, int(dense[lv])))
+    from repro.core import with_flattened
+
+    flat = with_flattened(interested, p)
+    incoming = flat.call(lambda *ps: comm.alltoallv(*ps))
+    for v, lab in np.asarray(incoming, dtype=np.int64).reshape(-1, 2):
+        ghost_dense[int(v)] = int(lab)
+
+    def coarse_of(v: int) -> int:
+        if graph.is_local(v):
+            return int(dense[graph.to_local(v)])
+        return ghost_dense[v]
+
+    # translate edges and ship them to the coarse-source owner
+    buckets: dict[int, list[int]] = {}
+    for lv in range(graph.local_size):
+        v = graph.first + lv
+        cu = int(dense[lv])
+        for t in graph.neighbors(v):
+            cv = coarse_of(int(t))
+            if cu == cv:
+                continue  # intra-cluster edge vanishes
+            owner = block_owner(cu, n_coarse, p)
+            buckets.setdefault(owner, []).extend((cu, cv))
+    flat = with_flattened(buckets, p)
+    arrived = flat.call(lambda *ps: comm.alltoallv(*ps))
+    pairs = np.asarray(arrived, dtype=np.int64).reshape(-1, 2)
+
+    # deduplicate parallel edges
+    if len(pairs):
+        keys = pairs[:, 0] * n_coarse + pairs[:, 1]
+        _, idx = np.unique(keys, return_index=True)
+        pairs = pairs[idx]
+    coarse = from_edge_list(n_coarse, p, comm.rank, pairs[:, 0], pairs[:, 1])
+    return coarse, dense
+
+
+@dataclass
+class CoarseningLevel:
+    graph: DistGraph
+    #: dense label of each fine vertex this rank owned at the previous level
+    labels: np.ndarray
+
+
+def multilevel_coarsen(comm: Communicator, graph: DistGraph,
+                       max_cluster_size: int = 16,
+                       lp_rounds: int = 3,
+                       threshold: int = 32,
+                       max_levels: int = 10) -> list[CoarseningLevel]:
+    """dKaMinPar's coarsening loop: cluster (LP) + contract until small.
+
+    Stops when the coarse graph falls below ``threshold`` vertices, stops
+    shrinking, or ``max_levels`` is reached.  Returns the level hierarchy
+    (coarse graph + the fine→coarse projection per level).
+    """
+    levels: list[CoarseningLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.n_global <= threshold:
+            break
+        lp = LabelPropagationKamping(current, max_cluster_size, comm)
+        labels = lp.run(lp_rounds)
+        coarse, dense = contract(comm, current, labels)
+        levels.append(CoarseningLevel(coarse, dense))
+        if coarse.n_global >= current.n_global:
+            break  # no progress: clustering found nothing to merge
+        current = coarse
+    return levels

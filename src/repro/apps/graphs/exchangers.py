@@ -1,0 +1,171 @@
+"""Pluggable frontier-exchange strategies for distributed BFS (Fig. 10).
+
+The BFS benchmark compares five ways to deliver the next frontier's
+non-local vertices to their owners:
+
+========================  ===================================================
+strategy                  cost profile
+========================  ===================================================
+``mpi`` / ``kamping``     built-in alltoallv: Θ(p)·α every step
+``mpi_neighbor``          neighborhood collective on a topology built *once*
+                          from the graph's edge structure: Θ(degree)·α
+``mpi_neighbor_rebuild``  same, but the topology is rebuilt every exchange —
+                          models dynamic communication patterns; does not
+                          scale (paper §V-A)
+``kamping_sparse``        the NBX plugin: Θ(k + log p), no counts, no topology
+``kamping_grid``          the 2D-grid plugin: Θ(√p)·α, doubled volume
+========================  ===================================================
+
+Each exchanger maps ``{destination: vertex list}`` to the flat array of
+vertices received from all ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core import Communicator, send_buf, send_counts, with_flattened
+from repro.plugins.grid_alltoall import GridAlltoall
+from repro.plugins.sparse_alltoall import SparseAlltoall
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class FrontierExchanger:
+    """Base class: exchange destination→vertices, return arrived vertices."""
+
+    name = "abstract"
+
+    def __init__(self, comm: Communicator):
+        self.comm = comm
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        raise NotImplementedError
+
+    def _flatten(self, nested: Mapping[int, list]) -> tuple[np.ndarray, list[int]]:
+        flat = with_flattened(nested, self.comm.size)
+        return flat.data, flat.counts
+
+
+class AlltoallvExchanger(FrontierExchanger):
+    """Built-in variable all-to-all (both the raw-MPI and KaMPIng paths)."""
+
+    name = "kamping"
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        data, counts = self._flatten(nested)
+        return np.asarray(
+            self.comm.alltoallv(send_buf(data), send_counts(counts)),
+            dtype=np.int64,
+        )
+
+
+class NeighborExchanger(FrontierExchanger):
+    """``MPI_Neighbor_alltoallv`` on a topology built once per BFS."""
+
+    name = "mpi_neighbor"
+
+    def __init__(self, comm: Communicator, neighbor_ranks: tuple[int, ...]):
+        super().__init__(comm)
+        self.neighbors = tuple(neighbor_ranks)
+        self._topo = comm.with_topology(self.neighbors, self.neighbors)
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        sendbuf, counts = self._nested_to_neighbors(nested)
+        out = self._topo.neighbor_alltoallv(send_buf(sendbuf),
+                                            send_counts(counts))
+        return np.asarray(out, dtype=np.int64)
+
+    def _nested_to_neighbors(self, nested: Mapping[int, list]
+                             ) -> tuple[np.ndarray, list[int]]:
+        parts, counts = [], []
+        for nbr in self.neighbors:
+            items = nested.get(nbr, ())
+            counts.append(len(items))
+            if len(items):
+                parts.append(np.asarray(items, dtype=np.int64))
+        for dest in nested:
+            if len(nested[dest]) and dest not in self.neighbors:
+                raise ValueError(
+                    f"frontier message to {dest}, which is not a topology "
+                    f"neighbor of rank {self.comm.rank}"
+                )
+        data = np.concatenate(parts) if parts else _EMPTY
+        return data, counts
+
+
+class NeighborRebuildExchanger(NeighborExchanger):
+    """Neighborhood collective with the topology rebuilt on every exchange.
+
+    Models rapidly-changing communication partners; the per-step
+    ``dist_graph_create_adjacent`` is the scaling killer (paper §V-A).
+    """
+
+    name = "mpi_neighbor_rebuild"
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        self._topo = self.comm.with_topology(self.neighbors, self.neighbors)
+        return super().exchange(nested)
+
+
+class SparseExchanger(FrontierExchanger):
+    """NBX dynamic sparse data exchange (KaMPIng plugin)."""
+
+    name = "kamping_sparse"
+
+    def __init__(self, comm: Communicator):
+        super().__init__(comm)
+        if not isinstance(comm, SparseAlltoall):
+            raise TypeError("SparseExchanger needs a SparseAlltoall-extended comm")
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        messages = {
+            dest: np.asarray(items, dtype=np.int64)
+            for dest, items in nested.items() if len(items)
+        }
+        received = self.comm.alltoallv_sparse(messages)
+        if not received:
+            return _EMPTY
+        return np.concatenate([np.asarray(v, dtype=np.int64)
+                               for v in received.values()])
+
+
+class GridExchanger(FrontierExchanger):
+    """Two-hop 2D-grid all-to-all (KaMPIng plugin)."""
+
+    name = "kamping_grid"
+
+    def __init__(self, comm: Communicator):
+        super().__init__(comm)
+        if not isinstance(comm, GridAlltoall):
+            raise TypeError("GridExchanger needs a GridAlltoall-extended comm")
+
+    def exchange(self, nested: Mapping[int, list]) -> np.ndarray:
+        data, counts = self._flatten(nested)
+        return np.asarray(
+            self.comm.alltoallv_grid(send_buf(data), send_counts(counts)),
+            dtype=np.int64,
+        )
+
+
+def make_exchanger(name: str, comm: Communicator,
+                   neighbor_ranks: Optional[tuple[int, ...]] = None
+                   ) -> FrontierExchanger:
+    """Factory by strategy name (see module docstring for the catalog)."""
+    if name in ("mpi", "kamping"):
+        return AlltoallvExchanger(comm)
+    if name == "mpi_neighbor":
+        return NeighborExchanger(comm, neighbor_ranks or ())
+    if name == "mpi_neighbor_rebuild":
+        return NeighborRebuildExchanger(comm, neighbor_ranks or ())
+    if name == "kamping_sparse":
+        return SparseExchanger(comm)
+    if name == "kamping_grid":
+        return GridExchanger(comm)
+    raise ValueError(f"unknown exchange strategy {name!r}")
+
+
+EXCHANGERS = ("mpi", "mpi_neighbor", "mpi_neighbor_rebuild",
+              "kamping", "kamping_sparse", "kamping_grid")

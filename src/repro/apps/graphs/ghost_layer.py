@@ -1,0 +1,62 @@
+"""A dKaMinPar-style graph-specific communication abstraction layer.
+
+dKaMinPar (paper §IV-B) ships its own abstraction layer over plain MPI with
+*specialized graph communication primitives* — e.g. "send each changed vertex
+value to every PE that knows the vertex".  Such a layer makes the algorithm
+code the shortest of the three variants (106 vs 127 vs 154 LoC in the paper)
+but has to be written, tested, and maintained by the application project —
+exactly the cost KaMPIng wants to remove.
+
+This module is that layer for our label propagation: a small, hand-rolled
+library over the raw runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.graphs.graph import DistGraph
+from repro.mpi.context import RawComm
+from repro.mpi.ops import SUM
+
+
+class GraphCommLayer:
+    """Specialized communication primitives for distributed graph algorithms."""
+
+    def __init__(self, comm: RawComm):
+        self.comm = comm
+
+    def charge(self, seconds: float) -> None:
+        self.comm.compute(seconds)
+
+    def exchange_vertex_values(self, graph: DistGraph, changed: list[int],
+                               values: np.ndarray,
+                               interested: list[tuple[int, ...]]) -> np.ndarray:
+        """Deliver (vertex, value) for changed vertices to interested ranks.
+
+        The primitive hides flattening, count exchange, and the alltoallv —
+        the algorithm code is a single call.
+        """
+        p = self.comm.size
+        counts = [0] * p
+        buckets: dict[int, list[int]] = {}
+        for lv in changed:
+            v = graph.first + lv
+            for rank in interested[lv]:
+                buckets.setdefault(rank, []).extend((v, int(values[lv])))
+        parts = []
+        for dest in range(p):
+            items = buckets.get(dest, ())
+            counts[dest] = len(items)
+            if len(items):
+                parts.append(np.asarray(items, dtype=np.int64))
+        sendbuf = (np.concatenate(parts) if parts
+                   else np.empty(0, dtype=np.int64))
+        rcounts = self.comm.alltoall(counts)
+        return np.asarray(
+            self.comm.alltoallv(sendbuf, counts, rcounts), dtype=np.int64
+        )
+
+    def accumulate(self, values: np.ndarray) -> np.ndarray:
+        """Global elementwise sum (cluster-size deltas)."""
+        return self.comm.allreduce(values, SUM)

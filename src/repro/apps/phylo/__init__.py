@@ -1,0 +1,27 @@
+"""RAxML-NG-analog phylogenetic inference mini-app (paper §IV-C, Fig. 11).
+
+RAxML-NG distributes alignment *sites* over ranks and wraps MPI in a
+~700-line custom abstraction layer with hand-written binary serialization.
+This mini-app reproduces that structure: a maximum-parsimony kernel over a
+site-distributed alignment, a hill-climbing tree search driven by frequent
+small broadcasts and reductions (~hundreds of MPI calls per second), and two
+interchangeable communication layers — the hand-rolled "before" and the
+KaMPIng one-liner "after" of the paper's Fig. 11.
+"""
+
+from repro.apps.phylo.alignment import random_alignment, local_site_block
+from repro.apps.phylo.tree import PhyloTree, random_tree
+from repro.apps.phylo.parsimony import fitch_score
+from repro.apps.phylo.comm_layers import (
+    HandRolledParallelContext,
+    KampingParallelContext,
+)
+from repro.apps.phylo.search import parsimony_search
+
+__all__ = [
+    "random_alignment", "local_site_block",
+    "PhyloTree", "random_tree",
+    "fitch_score",
+    "HandRolledParallelContext", "KampingParallelContext",
+    "parsimony_search",
+]

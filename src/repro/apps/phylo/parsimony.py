@@ -1,0 +1,38 @@
+"""Vectorized Fitch parsimony over a block of alignment sites."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.phylo.tree import PhyloTree
+
+#: calibrated per-cell CPU cost of the Fitch kernel
+_CELL_COST = 2.0e-9
+
+
+def fitch_score(tree: PhyloTree, sites: np.ndarray,
+                charge=None) -> int:
+    """Parsimony score of ``tree`` on the local ``(taxa × sites)`` block.
+
+    Bottom-up Fitch: a node's state set is the intersection of its
+    children's sets if non-empty (no mutation), else their union (one
+    mutation per site).  Vectorized across all local sites at once.
+    """
+    num_taxa, n_sites = sites.shape
+    if tree.num_taxa != num_taxa:
+        raise ValueError(
+            f"tree has {tree.num_taxa} taxa but the alignment has {num_taxa}"
+        )
+    if n_sites == 0:
+        return 0
+    states = np.empty((tree.root + 1, n_sites), dtype=np.uint8)
+    states[:num_taxa] = sites
+    mutations = np.zeros(n_sites, dtype=np.int64)
+    for k, (l, r) in enumerate(tree.children):
+        inter = states[l] & states[r]
+        empty = inter == 0
+        states[num_taxa + k] = np.where(empty, states[l] | states[r], inter)
+        mutations += empty
+    if charge is not None:
+        charge(_CELL_COST * (tree.root + 1) * n_sites)
+    return int(mutations.sum())

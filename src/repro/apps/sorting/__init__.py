@@ -1,0 +1,6 @@
+"""Sorting application benchmarks (paper §IV-A)."""
+
+from repro.apps.sorting.vector_allgather import VECTOR_ALLGATHER_IMPLS
+from repro.apps.sorting.sample_sort import SAMPLE_SORT_IMPLS, sort_checked
+
+__all__ = ["VECTOR_ALLGATHER_IMPLS", "SAMPLE_SORT_IMPLS", "sort_checked"]

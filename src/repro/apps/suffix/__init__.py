@@ -1,0 +1,19 @@
+"""Distributed suffix array construction (paper §IV-A).
+
+Two algorithms, as in the paper: prefix doubling (in KaMPIng and plain-MPI
+variants, for the 163 vs 426 LoC comparison) and DC3 (the DCX family member
+with X=3).
+"""
+
+from repro.apps.suffix.common import random_text, suffix_array_sequential
+from repro.apps.suffix.prefix_doubling import (
+    prefix_doubling_kamping,
+    prefix_doubling_mpi,
+)
+from repro.apps.suffix.dc3 import pdc3
+
+__all__ = [
+    "random_text", "suffix_array_sequential",
+    "prefix_doubling_kamping", "prefix_doubling_mpi",
+    "pdc3",
+]

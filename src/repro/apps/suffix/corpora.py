@@ -1,0 +1,67 @@
+"""Synthetic text corpora for the suffix-array benchmarks.
+
+The paper's text-processing evaluation uses real texts; offline we
+approximate their statistics with generators whose repetition structure
+matters for suffix sorting:
+
+- :func:`markov_text` — an order-1 Markov chain over a small alphabet
+  (natural-language-like bigram skew; prefix doubling needs several rounds);
+- :func:`repetitive_text` — Fibonacci-like highly repetitive strings (the
+  adversarial case: maximal LCPs, many doubling rounds);
+- :func:`dna_text` — 4-letter alphabet with motif repeats (bioinformatics
+  workloads, matching the RAxML-NG context).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def markov_text(n: int, sigma: int = 8, skew: float = 4.0,
+                seed: int = 1) -> np.ndarray:
+    """Order-1 Markov text: each character prefers a few successors."""
+    rng = np.random.default_rng((seed, 0x3A2))
+    transition = rng.random((sigma, sigma)) ** skew
+    transition /= transition.sum(axis=1, keepdims=True)
+    out = np.empty(n, dtype=np.int64)
+    state = int(rng.integers(0, sigma))
+    for i in range(n):
+        out[i] = state + 1  # 0 stays reserved as sentinel
+        state = int(rng.choice(sigma, p=transition[state]))
+    return out
+
+
+def repetitive_text(n: int, seed: int = 1) -> np.ndarray:
+    """Fibonacci-word-like text: s_{k} = s_{k-1} + s_{k-2} over {1, 2}.
+
+    Suffixes share very long common prefixes, which maximizes the number of
+    prefix-doubling rounds and stresses DC3's recursion depth.
+    """
+    a, b = [1], [1, 2]
+    while len(b) < n:
+        a, b = b, b + a
+    return np.array(b[:n], dtype=np.int64)
+
+
+def dna_text(n: int, motif_len: int = 12, motif_rate: float = 0.3,
+             seed: int = 1) -> np.ndarray:
+    """DNA-like text (σ=4) with repeated motifs inserted at random."""
+    rng = np.random.default_rng((seed, 0xD4A))
+    motif = rng.integers(1, 5, size=motif_len)
+    out = np.empty(n, dtype=np.int64)
+    i = 0
+    while i < n:
+        if rng.random() < motif_rate and i + motif_len <= n:
+            out[i: i + motif_len] = motif
+            i += motif_len
+        else:
+            out[i] = int(rng.integers(1, 5))
+            i += 1
+    return out
+
+
+CORPORA = {
+    "markov": markov_text,
+    "repetitive": repetitive_text,
+    "dna": dna_text,
+}

@@ -1,0 +1,13 @@
+"""``repro.bindings`` — emulations of the comparator MPI binding libraries.
+
+The paper's evaluation (Table I, Fig. 8, Fig. 10) compares KaMPIng against
+plain MPI, Boost.MPI, MPL, and RWTH-MPI.  Plain MPI is :mod:`repro.mpi`
+itself; this subpackage provides API-faithful emulations of the other three,
+including their characteristic behaviours (Boost's implicit serialization and
+missing ``alltoallv``, MPL's alltoallw-routed v-collectives, RWTH-MPI's
+overload-based defaults).
+"""
+
+from repro.bindings import boost_mpi, mpl, rwth_mpi
+
+__all__ = ["boost_mpi", "mpl", "rwth_mpi"]

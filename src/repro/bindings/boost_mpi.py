@@ -1,0 +1,229 @@
+"""Boost.MPI-style bindings emulation (paper §II).
+
+Faithful to the documented design *and its pitfalls*:
+
+- STL-container support with receive buffers **always resized to fit**
+  (convenient, but hidden allocation on every call);
+- **implicit serialization**: any value that is not a flat numeric array is
+  silently serialized (the behaviour the paper criticizes — costs appear
+  without any trace in the calling code);
+- functor → built-in reduction mapping (``std::plus`` style) and lambdas;
+- **no ``alltoallv`` binding** — Boost.MPI never provided one, so algorithms
+  needing it (sample sort, BFS) must hand-roll the exchange over
+  ``isend``/``recv`` as real Boost.MPI users do;
+- MPI errors surface as exceptions (``boost::mpi::exception``).
+
+The API mirrors Boost.MPI's free-function style: ``broadcast(comm, value,
+root)``, ``all_gather(comm, value)``, …
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.context import RawComm
+from repro.mpi.errors import RawMpiError
+from repro.mpi.ops import SUM, Op, user_op
+
+
+class BoostMpiException(Exception):
+    """Analog of ``boost::mpi::exception``: raised for any MPI failure."""
+
+
+class communicator:
+    """Boost.MPI's ``communicator`` wrapper (thin; free functions do the work)."""
+
+    def __init__(self, raw: RawComm):
+        self.raw = raw
+
+    def rank(self) -> int:
+        return self.raw.rank
+
+    def size(self) -> int:
+        return self.raw.size
+
+    def barrier(self) -> None:
+        _guard(self.raw.barrier)
+
+    # Boost.MPI point-to-point: implicit serialization for non-array payloads.
+    def send(self, dest: int, tag: int, value: Any = None) -> None:
+        _guard(lambda: self.raw.send(_maybe_serialize(self.raw, value), dest, tag))
+
+    def recv(self, source: int, tag: int) -> Any:
+        def do():
+            payload, _ = self.raw.recv(source, tag)
+            return _maybe_deserialize(self.raw, payload)
+
+        return _guard(do)
+
+    def isend(self, dest: int, tag: int, value: Any = None):
+        return _guard(
+            lambda: self.raw.isend(_maybe_serialize(self.raw, value), dest, tag)
+        )
+
+    def irecv(self, source: int, tag: int):
+        raw_req = _guard(lambda: self.raw.irecv(source, tag))
+        return _DeserializingRequest(raw_req, self.raw)
+
+
+def _guard(thunk: Callable[[], Any]) -> Any:
+    try:
+        return thunk()
+    except RawMpiError as exc:  # Boost.MPI converts every MPI error
+        raise BoostMpiException(str(exc)) from exc
+
+
+_SERIAL_RATE_KEY = "ser_beta"
+
+
+def _maybe_serialize(raw: RawComm, value: Any) -> Any:
+    """Implicit serialization: flat numeric arrays pass through, all else is
+    pickled — with the (hidden) CPU cost charged to the virtual clock."""
+    import pickle
+
+    if isinstance(value, np.ndarray) and not value.dtype.hasobject:
+        return value
+    if isinstance(value, (int, float, bool, np.integer, np.floating)):
+        return value
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    raw.compute(len(blob) * raw.machine.cost_model.ser_beta)
+    return _Archived(blob)
+
+
+def _maybe_deserialize(raw: RawComm, payload: Any) -> Any:
+    import pickle
+
+    if isinstance(payload, _Archived):
+        raw.compute(len(payload.blob) * raw.machine.cost_model.ser_beta)
+        return pickle.loads(payload.blob)
+    return payload
+
+
+class _Archived:
+    """An implicitly-serialized payload in flight."""
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+
+
+class _DeserializingRequest:
+    """Boost.MPI's irecv request: deserializes transparently on completion."""
+
+    def __init__(self, raw_req, raw_comm):
+        self._req = raw_req
+        self._raw = raw_comm
+
+    def wait(self):
+        payload, status = self._req.wait()
+        return _maybe_deserialize(self._raw, payload), status
+
+    def test(self):
+        done, value = self._req.test()
+        if not done:
+            return False, None
+        payload, status = value
+        return True, (_maybe_deserialize(self._raw, payload), status)
+
+
+# ---------------------------------------------------------------------------
+# collectives (free functions, like Boost.MPI)
+# ---------------------------------------------------------------------------
+
+def broadcast(comm: communicator, value: Any, root: int) -> Any:
+    """``boost::mpi::broadcast``; returns the broadcast value."""
+    payload = _maybe_serialize(comm.raw, value) if comm.rank() == root else None
+    out = _guard(lambda: comm.raw.bcast(payload, root))
+    return _maybe_deserialize(comm.raw, out)
+
+
+def gather(comm: communicator, value: Any, root: int) -> Optional[list]:
+    """Gather one value per rank; the root's vector is resized to fit."""
+    out = _guard(lambda: comm.raw.gather(_maybe_serialize(comm.raw, value), root))
+    if out is None:
+        return None
+    return [_maybe_deserialize(comm.raw, v) for v in out]
+
+
+def all_gather(comm: communicator, value: Any) -> list:
+    """Allgather one value per rank; result vector resized to fit."""
+    out = _guard(lambda: comm.raw.allgather(_maybe_serialize(comm.raw, value)))
+    return [_maybe_deserialize(comm.raw, v) for v in out]
+
+
+def gatherv(comm: communicator, values: np.ndarray,
+            sizes: Optional[Sequence[int]], root: int) -> Optional[np.ndarray]:
+    """``boost::mpi::gatherv``: the *sizes* must be supplied by the caller —
+    Boost offers an overload omitting displacements, but never the counts."""
+    out = _guard(lambda: comm.raw.gatherv(np.asarray(values), sizes, root))
+    return out
+
+
+def all_gatherv(comm: communicator, values: np.ndarray,
+                sizes: Sequence[int]) -> np.ndarray:
+    """Allgatherv with caller-provided sizes (counts must be pre-exchanged)."""
+    return _guard(lambda: comm.raw.allgatherv(np.asarray(values), list(sizes)))
+
+
+def scatter(comm: communicator, values: Optional[Sequence[Any]], root: int) -> Any:
+    out = _guard(lambda: comm.raw.scatter(
+        [_maybe_serialize(comm.raw, v) for v in values] if values is not None
+        else None, root))
+    return _maybe_deserialize(comm.raw, out)
+
+
+def all_to_all(comm: communicator, values: Sequence[Any]) -> list:
+    """``boost::mpi::all_to_all`` of one value per destination.
+
+    Sending a ``vector<T>`` per destination works — through implicit
+    serialization of each vector, with all its hidden cost.
+    """
+    payloads = [_maybe_serialize(comm.raw, v) for v in values]
+    out = _guard(lambda: comm.raw.alltoall(payloads))
+    return [_maybe_deserialize(comm.raw, v) for v in out]
+
+
+def reduce(comm: communicator, value: Any, operation: Any, root: int) -> Any:
+    return _guard(lambda: comm.raw.reduce(value, _resolve_op(operation), root))
+
+
+def all_reduce(comm: communicator, value: Any, operation: Any) -> Any:
+    """Reduction with functor mapping (``std::plus`` → ``MPI_SUM``) or lambda."""
+    return _guard(lambda: comm.raw.allreduce(value, _resolve_op(operation)))
+
+
+def scan(comm: communicator, value: Any, operation: Any) -> Any:
+    return _guard(lambda: comm.raw.scan(value, _resolve_op(operation)))
+
+
+def _resolve_op(operation: Any) -> Op:
+    if isinstance(operation, Op):
+        return operation
+    from repro.core.named_params import _FUNCTOR_MAP
+
+    mapped = _FUNCTOR_MAP.get(operation) if _hashable(operation) else None
+    if mapped is not None:
+        return mapped
+    if callable(operation):
+        return user_op(operation)
+    raise BoostMpiException(f"cannot map {operation!r} to a reduction operation")
+
+
+def _hashable(x: Any) -> bool:
+    try:
+        hash(x)
+        return True
+    except TypeError:
+        return False
+
+
+# Boost.MPI deliberately has no alltoallv; this stub documents the gap the
+# paper's Table I measures (users hand-roll the exchange over point-to-point).
+def all_to_allv(*_args: Any, **_kwargs: Any):  # pragma: no cover - documented gap
+    raise NotImplementedError(
+        "Boost.MPI provides no bindings for MPI_Alltoallv (paper §II); "
+        "hand-roll the exchange over isend/recv"
+    )

@@ -1,0 +1,15 @@
+"""``repro.containers`` — distributed containers (paper §VI).
+
+The paper's outlook: "With distributed containers, we want to enable
+lightweight bulk parallel computation inspired by MapReduce and Thrill,
+while not locking the programmer into the walled garden of a particular
+framework."  This subpackage is that building block: a
+:class:`DistributedArray` whose bulk operations (map / filter / reduce /
+sort / rebalance / collect) are thin compositions of KaMPIng calls — no
+framework runtime, no scheduler, just the bindings.
+"""
+
+from repro.containers.darray import DistributedArray
+from repro.containers.mapreduce import reduce_by_key, word_count
+
+__all__ = ["DistributedArray", "reduce_by_key", "word_count"]

@@ -1,0 +1,138 @@
+"""``repro.core`` — the KaMPIng bindings (the paper's primary contribution).
+
+Public surface:
+
+- :class:`Communicator` and :func:`run` — wrapped MPI operations and the
+  per-rank driver;
+- the named-parameter factories (``send_buf``, ``recv_counts_out``, …);
+- resize policies (``resize_to_fit``, ``grow_only``, ``no_resize``);
+- :func:`move` for ownership transfer, :class:`RequestPool` and
+  :class:`NonBlockingResult` for safe non-blocking communication;
+- the type system (``struct_type``, ``register_type``, dynamic type
+  constructors) and explicit serialization (``as_serialized`` /
+  ``as_deserializable``);
+- the plugin machinery (:func:`extend`, :class:`CommunicatorPlugin`);
+- leveled assertions and the error hierarchy.
+"""
+
+from repro.core.buffers import Moved, move
+from repro.core.communicator import SPECS, Communicator
+from repro.core.errors import (
+    AssertionLevel,
+    BufferResizeError,
+    CommunicationFailure,
+    DuplicateParameterError,
+    IgnoredParameterError,
+    InFlightAccessError,
+    KampingError,
+    MissingParameterError,
+    RevokedError,
+    SerializationRequiredError,
+    TruncationError,
+    TypeMappingError,
+    UnsupportedParameterError,
+    UsageError,
+    assertion_level,
+    assertions,
+    kassert,
+    set_assertion_level,
+)
+from repro.core.flatten import Flattened, with_flattened
+from repro.core.named_params import (
+    destination,
+    op,
+    recv_buf,
+    recv_count,
+    recv_count_out,
+    recv_counts,
+    recv_counts_out,
+    recv_displs,
+    recv_displs_out,
+    root,
+    send_buf,
+    send_buf_out,
+    send_count,
+    send_counts,
+    send_counts_out,
+    send_displs,
+    send_displs_out,
+    send_recv_buf,
+    send_recv_count,
+    source,
+    status_out,
+    tag,
+    values_on_rank_0,
+)
+from repro.core.measurements import Counter, Timer
+from repro.core.nonblocking import BoundedRequestPool, NonBlockingResult, RequestPool
+from repro.core.parameters import Parameter, register_parameter
+from repro.core.plans import CallPlan, OpSpec, PlanCache
+from repro.core.plugins import CommunicatorPlugin, extend, plugin_method
+from repro.core.resize import ResizePolicy, grow_only, no_resize, resize_to_fit
+from repro.core.result import MPIResult
+from repro.core.rma import Window
+from repro.core.runner import run
+from repro.core.serialization import (
+    BINARY,
+    JSON,
+    Archive,
+    BinaryArchive,
+    JsonArchive,
+    as_deserializable,
+    as_serialized,
+)
+from repro.core.types import (
+    TypeTraits,
+    WireBuffer,
+    encode_send,
+    fixed_array,
+    from_structured,
+    is_trivially_copyable,
+    register_type,
+    struct_type,
+    to_structured,
+    type_contiguous,
+    type_struct,
+    type_vector,
+)
+
+__all__ = [
+    "Communicator", "run", "SPECS",
+    # named parameters
+    "send_buf", "send_buf_out", "recv_buf", "send_recv_buf",
+    "send_counts", "send_counts_out", "recv_counts", "recv_counts_out",
+    "send_displs", "send_displs_out", "recv_displs", "recv_displs_out",
+    "send_count", "recv_count", "recv_count_out", "send_recv_count",
+    "op", "root", "destination", "source", "tag", "values_on_rank_0",
+    "status_out", "Parameter", "register_parameter",
+    # resize policies
+    "ResizePolicy", "no_resize", "grow_only", "resize_to_fit",
+    # ownership / non-blocking
+    "move", "Moved", "NonBlockingResult", "RequestPool", "BoundedRequestPool",
+    # results
+    "MPIResult",
+    # measurements
+    "Timer", "Counter",
+    # one-sided
+    "Window",
+    # plans
+    "CallPlan", "OpSpec", "PlanCache",
+    # plugins
+    "CommunicatorPlugin", "extend", "plugin_method",
+    # types & serialization
+    "TypeTraits", "WireBuffer", "encode_send", "struct_type", "register_type",
+    "fixed_array", "to_structured", "from_structured", "is_trivially_copyable",
+    "type_contiguous", "type_struct", "type_vector",
+    "Archive", "BinaryArchive", "JsonArchive", "BINARY", "JSON",
+    "as_serialized", "as_deserializable",
+    # helpers
+    "with_flattened", "Flattened",
+    # errors & assertions
+    "KampingError", "UsageError", "MissingParameterError",
+    "UnsupportedParameterError", "DuplicateParameterError",
+    "IgnoredParameterError", "BufferResizeError", "TypeMappingError",
+    "SerializationRequiredError", "TruncationError", "CommunicationFailure",
+    "RevokedError", "InFlightAccessError",
+    "AssertionLevel", "assertion_level", "set_assertion_level", "assertions",
+    "kassert",
+]

@@ -1,0 +1,74 @@
+"""Buffer ownership: move semantics and in-flight poisoning.
+
+C++ KaMPIng uses move semantics to transfer buffer ownership into a call and
+re-return it on completion; moved-from objects are dead by language rule.
+Python has no moves, so the library substitutes two mechanisms that preserve
+the same *guarantee* (no access to data taking part in a pending operation):
+
+- :func:`move` wraps a container to transfer ownership; the wrapped container
+  is handed to the call and returned (by the result object or on ``wait()``).
+- While a non-blocking operation is in flight, NumPy send buffers are
+  *poisoned* — made read-only — and restored on completion.  Receive data is
+  simply unreachable before completion because only ``wait()``/``test()``
+  return it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class Moved:
+    """Marker produced by :func:`move`; unwrapped by the parameter factories."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def move(container: Any) -> Moved:
+    """Transfer ownership of ``container`` into the communication call.
+
+    The call (or its non-blocking result) owns the container until it returns
+    it; for NumPy arrays the storage is reused, so no copy happens — the
+    analog of ``std::move``.
+    """
+    if isinstance(container, Moved):
+        return container
+    return Moved(container)
+
+
+def unwrap_moved(data: Any) -> tuple[Any, bool]:
+    """Return ``(container, was_moved)``."""
+    if isinstance(data, Moved):
+        return data.value, True
+    return data, False
+
+
+class Poison:
+    """Write-protection for a NumPy array during a pending operation."""
+
+    __slots__ = ("array", "_was_writeable")
+
+    def __init__(self, array: np.ndarray):
+        self.array = array
+        self._was_writeable = bool(array.flags.writeable)
+        array.flags.writeable = False
+
+    def release(self) -> None:
+        """Restore the array's original writability."""
+        if self._was_writeable:
+            try:
+                self.array.flags.writeable = True
+            except ValueError:  # pragma: no cover - base array was frozen meanwhile
+                pass
+
+
+def poison_if_array(container: Any) -> Poison | None:
+    """Poison ``container`` if it is a NumPy array; return the handle."""
+    if isinstance(container, np.ndarray) and container.flags.writeable:
+        return Poison(container)
+    return None

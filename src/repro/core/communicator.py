@@ -1,0 +1,934 @@
+"""The KaMPIng ``Communicator`` — wrapped MPI operations with named parameters.
+
+Every wrapped operation
+
+1. looks up (or compiles, once per parameter signature) a *call plan*
+   validating the named parameters (§III-A, :mod:`repro.core.plans`);
+2. encodes the send data through the type system (§III-D);
+3. infers every omitted parameter the way the paper describes — e.g.
+   ``allgatherv`` without receive counts performs one raw ``allgather`` of
+   the local count followed by a local exclusive prefix sum (§III-A, Fig. 2);
+4. issues exactly the expected raw MPI calls (verifiable through the PMPI
+   counters, §III-H);
+5. returns requested out-parameters by value — or writes them into
+   caller-supplied containers under their resize policies (§III-B/C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.core import types as _types
+from repro.core.buffers import Poison, poison_if_array
+from repro.core.errors import (
+    AssertionLevel,
+    CommunicationFailure,
+    RevokedError,
+    TruncationError,
+    UsageError,
+    kassert,
+)
+from repro.core.nonblocking import NonBlockingResult
+from repro.core.parameters import Parameter
+from repro.core.plans import CallPlan, OpSpec, PlanCache
+from repro.core.resize import (
+    ResizePolicy,
+    apply_policy_to_list,
+    check_array_capacity,
+)
+from repro.core.result import pack_result
+from repro.core.serialization import DeserializationWrapper, SerializationWrapper
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.context import RawComm
+from repro.mpi.errors import (
+    RawCommRevoked,
+    RawProcessFailure,
+    RawTruncationError,
+)
+from repro.mpi.ops import Op
+
+# ---------------------------------------------------------------------------
+# operation parameter contracts
+# ---------------------------------------------------------------------------
+
+_BUF_OUTS = ("recv_buf", "recv_counts", "recv_displs", "send_displs", "send_counts")
+
+SPECS: dict[str, OpSpec] = {}
+
+
+def _spec(name: str, **kw: Any) -> OpSpec:
+    spec = OpSpec(name=name, **kw)
+    SPECS[name] = spec
+    return spec
+
+
+_spec("send", required=("send_buf", "destination"), optional=("tag", "send_count"))
+_spec("ssend", required=("send_buf", "destination"), optional=("tag", "send_count"))
+_spec("isend", required=("send_buf", "destination"), optional=("tag", "send_count"),
+      out_allowed=("send_buf",))
+_spec("issend", required=("send_buf", "destination"), optional=("tag", "send_count"),
+      out_allowed=("send_buf",))
+_spec("recv", optional=("source", "tag", "recv_count"),
+      out_allowed=("recv_buf", "status"), implicit_out=("recv_buf",))
+_spec("irecv", optional=("source", "tag", "recv_count"),
+      out_allowed=("recv_buf", "status"), implicit_out=("recv_buf",))
+_spec("bcast", required=("send_recv_buf",), optional=("root", "send_recv_count"),
+      out_allowed=("send_recv_buf",), implicit_out=("send_recv_buf",))
+_spec("gather", required=("send_buf",), optional=("root",),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("gatherv", required=("send_buf",), optional=("root", "recv_counts", "send_count"),
+      out_allowed=("recv_buf", "recv_counts", "recv_displs"),
+      implicit_out=("recv_buf",))
+_spec("scatter", optional=("send_buf", "root"),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("scatterv", optional=("send_buf", "root", "send_counts", "send_displs"),
+      out_allowed=("recv_buf", "recv_count"), implicit_out=("recv_buf",))
+_spec("allgather",
+      optional=("send_buf", "send_recv_buf", "send_count"),
+      out_allowed=("recv_buf", "send_recv_buf"),
+      conflicts=(
+          ("send_recv_buf", "send_buf",
+           "the in-place variant takes its input from send_recv_buf"),
+          ("send_recv_buf", "send_count",
+           "the in-place variant derives the count from the buffer"),
+      ))
+_spec("allgatherv",
+      required=("send_buf",),
+      optional=("send_count", "recv_counts", "recv_displs"),
+      out_allowed=("recv_buf", "recv_counts", "recv_displs"),
+      implicit_out=("recv_buf",))
+_spec("alltoall", required=("send_buf",), optional=("send_count",),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("alltoallv",
+      required=("send_buf", "send_counts"),
+      optional=("send_displs", "recv_counts", "recv_displs"),
+      out_allowed=("recv_buf", "recv_counts", "recv_displs"),
+      implicit_out=("recv_buf",))
+_spec("reduce", required=("send_buf", "op"), optional=("root",),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("allreduce",
+      optional=("send_buf", "send_recv_buf"), required=("op",),
+      out_allowed=("recv_buf", "send_recv_buf"),
+      conflicts=(
+          ("send_recv_buf", "send_buf",
+           "the in-place variant takes its input from send_recv_buf"),
+      ))
+_spec("scan", required=("send_buf", "op"), out_allowed=("recv_buf",),
+      implicit_out=("recv_buf",))
+_spec("exscan", required=("send_buf", "op"), optional=("values_on_rank_0",),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("neighbor_alltoall", required=("send_buf",),
+      out_allowed=("recv_buf",), implicit_out=("recv_buf",))
+_spec("neighbor_alltoallv",
+      required=("send_buf", "send_counts"), optional=("recv_counts",),
+      out_allowed=("recv_buf", "recv_counts"), implicit_out=("recv_buf",))
+_spec("barrier")
+
+
+#: shared across communicators; plans are rank-independent
+_GLOBAL_PLAN_CACHE = PlanCache()
+
+
+class Communicator:
+    """Wrapped communicator offering the full range of abstraction levels."""
+
+    def __init__(self, raw: RawComm, plan_cache: Optional[PlanCache] = None):
+        self.raw = raw
+        self._plans = plan_cache if plan_cache is not None else _GLOBAL_PLAN_CACHE
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.raw.rank
+
+    @property
+    def size(self) -> int:
+        return self.raw.size
+
+    def is_root(self, root: int = 0) -> bool:
+        return self.rank == root
+
+    def rank_shifted_checked(self, offset: int) -> Optional[int]:
+        """Neighbor rank at ``offset``, or ``None`` past the ends."""
+        r = self.rank + offset
+        return r if 0 <= r < self.size else None
+
+    def compute(self, seconds: float) -> None:
+        """Charge local computation time to the virtual clock."""
+        self.raw.compute(seconds)
+
+    # -- communicator management ---------------------------------------------
+
+    def split(self, color: Optional[int], key: Optional[int] = None
+              ) -> Optional["Communicator"]:
+        sub = self._guard(lambda: self.raw.split(color, key))
+        return type(self)(sub) if sub is not None else None
+
+    def dup(self) -> "Communicator":
+        return type(self)(self._guard(self.raw.dup))
+
+    def with_topology(self, sources: Sequence[int], destinations: Sequence[int]
+                      ) -> "Communicator":
+        """Create a neighborhood-topology communicator."""
+        raw = self._guard(
+            lambda: self.raw.dist_graph_create_adjacent(sources, destinations)
+        )
+        return type(self)(raw)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _plan(self, op_name: str, params: Sequence[Parameter]) -> CallPlan:
+        return self._plans.lookup(SPECS[op_name], params)
+
+    def _guard(self, thunk):
+        """Translate raw failures to bindings-layer exceptions (§III-G)."""
+        try:
+            return thunk()
+        except RawProcessFailure as exc:
+            self._handle_failure(CommunicationFailure(exc.failed_ranks, str(exc)))
+        except RawCommRevoked as exc:
+            self._handle_failure(RevokedError(str(exc)))
+        except RawTruncationError as exc:
+            raise TruncationError(str(exc)) from exc
+
+    def _handle_failure(self, exc: Exception) -> None:
+        """Error hook; plugins (e.g. ULFM) override ``on_error``."""
+        on_error = getattr(self, "on_error", None)
+        if on_error is not None:
+            on_error(exc)
+        raise exc
+
+    def _encode(self, data: Any) -> _types.WireBuffer:
+        wire = _types.encode_send(data)
+        if wire.compute_bytes:
+            self.raw.compute(wire.compute_bytes * self.raw.machine.cost_model.ser_beta)
+        return wire
+
+    def _decode_bytes_charge(self, nbytes: int) -> None:
+        self.raw.compute(nbytes * self.raw.machine.cost_model.ser_beta)
+
+    def _deliver(self, plan: CallPlan, params: Sequence[Parameter],
+                 entries: list[tuple[str, Any]], key: str, value: Any) -> None:
+        """Route one produced out-value: in-place write or by-value return."""
+        if key in plan.referencing_out:
+            param = plan.get(params, key)
+            _write_into(param.data, value, param.resize)
+            return
+        param = plan.get(params, key)
+        if param is not None and param.moved and param.data is not None:
+            value = _reuse_storage(param.data, value)
+        entries.append((key, value))
+
+    def _finish(self, plan: CallPlan, params: Sequence[Parameter],
+                produced: dict[str, Any]) -> Any:
+        entries: list[tuple[str, Any]] = []
+        for key in plan.out_keys:
+            if key in produced:
+                self._deliver(plan, params, entries, key, produced[key])
+        for key in plan.referencing_out:
+            if key in produced and key not in plan.out_keys:
+                self._deliver(plan, params, entries, key, produced[key])
+        return pack_result(entries)
+
+    # ------------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------------
+
+    def send(self, *params: Parameter) -> None:
+        """Blocking standard send: ``send(send_buf(v), destination(d))``."""
+        plan = self._plan("send", params)
+        self._do_send(plan, params, self.raw.send)
+
+    def ssend(self, *params: Parameter) -> None:
+        """Blocking synchronous send."""
+        plan = self._plan("ssend", params)
+        self._do_send(plan, params, self.raw.ssend)
+
+    def _do_send(self, plan: CallPlan, params: Sequence[Parameter], raw_op) -> None:
+        wire = self._encode(plan.data(params, "send_buf"))
+        payload = _apply_send_count(wire, plan.data(params, "send_count"))
+        dest = plan.data(params, "destination")
+        tag = plan.data(params, "tag", 0)
+        self._guard(lambda: raw_op(payload, dest, tag))
+
+    def isend(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking send; moved-in buffers are re-returned on ``wait()``."""
+        return self._do_isend("isend", params, self.raw.isend)
+
+    def issend(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking synchronous send."""
+        return self._do_isend("issend", params, self.raw.issend)
+
+    def _do_isend(self, op_name: str, params: Sequence[Parameter],
+                  raw_op) -> NonBlockingResult:
+        plan = self._plan(op_name, params)
+        param = plan.get(params, "send_buf")
+        wire = self._encode(param.data)
+        payload = _apply_send_count(wire, plan.data(params, "send_count"))
+        dest = plan.data(params, "destination")
+        tag = plan.data(params, "tag", 0)
+        raw_req = self._guard(lambda: raw_op(payload, dest, tag))
+        poisons: list[Poison] = []
+        poison = poison_if_array(param.data)
+        if poison is not None:
+            poisons.append(poison)
+        held = param.data if (param.moved or param.direction == "inout") else None
+        return NonBlockingResult(raw_req, poisons=poisons, held=held)
+
+    def recv(self, *params: Parameter) -> Any:
+        """Blocking receive; the received data is the return value."""
+        plan = self._plan("recv", params)
+        src = plan.data(params, "source", ANY_SOURCE)
+        tg = plan.data(params, "tag", ANY_TAG)
+        payload, status = self._guard(lambda: self.raw.recv(src, tg))
+        value = self._face_received(plan, params, payload, status)
+        produced = {"recv_buf": value, "status": status}
+        return self._finish(plan, params, produced)
+
+    def irecv(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking receive; data is only reachable after completion (§III-E)."""
+        plan = self._plan("irecv", params)
+        src = plan.data(params, "source", ANY_SOURCE)
+        tg = plan.data(params, "tag", ANY_TAG)
+        raw_req = self._guard(lambda: self.raw.irecv(src, tg))
+
+        def assemble(result: tuple) -> Any:
+            payload, status = result
+            value = self._face_received(plan, params, payload, status)
+            return self._finish(plan, params, {"recv_buf": value, "status": status})
+
+        return NonBlockingResult(raw_req, assemble=assemble)
+
+    def _face_received(self, plan: CallPlan, params: Sequence[Parameter],
+                       payload: Any, status) -> Any:
+        recv_param = plan.get(params, "recv_buf")
+        wrapper = None
+        if recv_param is not None and isinstance(recv_param.data, DeserializationWrapper):
+            wrapper = recv_param.data
+            self._decode_bytes_charge(status.nbytes)
+        expected = plan.data(params, "recv_count")
+        if expected is not None and _length_of(payload) > expected:
+            raise TruncationError(
+                f"message with {_length_of(payload)} elements exceeds "
+                f"recv_count({expected})"
+            )
+        return _types.decode_recv(payload, wrapper)
+
+    def probe(self, *params: Parameter):
+        """Blocking probe returning the matched message's status."""
+        plan = self._plan("recv", params)  # same parameter contract
+        src = plan.data(params, "source", ANY_SOURCE)
+        tg = plan.data(params, "tag", ANY_TAG)
+        return self._guard(lambda: self.raw.probe(src, tg))
+
+    # ------------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (dissemination barrier)."""
+        self._guard(self.raw.barrier)
+
+    def bcast(self, *params: Parameter) -> Any:
+        """Broadcast: ``bcast(send_recv_buf(obj), root(r))``.
+
+        Serialization wrappers are honoured transparently: the root encodes,
+        all ranks decode (paper Fig. 11).
+        """
+        plan = self._plan("bcast", params)
+        rt = plan.data(params, "root", 0)
+        param = plan.get(params, "send_recv_buf")
+        data = param.data
+        serial = isinstance(data, SerializationWrapper)
+        if self.rank == rt:
+            if isinstance(data, (bool, int, float, complex, str, bytes,
+                                 np.integer, np.floating)):
+                # scalars travel as-is so receivers see the same shape
+                out = self._guard(lambda: self.raw.bcast(data, rt))
+                return self._finish(plan, params, {"send_recv_buf": out})
+            wire = self._encode(data)
+            payload = _apply_send_count(wire, plan.data(params, "send_recv_count"))
+            out = self._guard(lambda: self.raw.bcast(payload, rt))
+            value = data.obj if serial else wire.decode(out)
+        else:
+            out = self._guard(lambda: self.raw.bcast(None, rt))
+            if serial:
+                self._decode_bytes_charge(len(out))
+                value = data.archive.loads(out)
+            else:
+                value = out
+        return self._finish(plan, params, {"send_recv_buf": value})
+
+    def bcast_single(self, *params: Parameter) -> Any:
+        """Broadcast of a single value."""
+        return self.bcast(*params)
+
+    def gather(self, *params: Parameter) -> Any:
+        """Fixed-size gather; the root receives the concatenation."""
+        plan = self._plan("gather", params)
+        rt = plan.data(params, "root", 0)
+        wire = self._encode(plan.data(params, "send_buf"))
+        self._assert_uniform_counts("gather", wire.count)
+        blocks = self._guard(lambda: self.raw.gather(wire.payload, rt))
+        if self.rank != rt:
+            return self._finish(plan, params, {})
+        value = _decode_blocks(wire, blocks)
+        return self._finish(plan, params, {"recv_buf": value})
+
+    def gatherv(self, *params: Parameter) -> Any:
+        """Variable gather with count inference.
+
+        Without ``recv_counts`` the library gathers the per-rank counts to
+        the root with one raw ``gather`` — the boilerplate of paper Fig. 2.
+        """
+        plan = self._plan("gatherv", params)
+        rt = plan.data(params, "root", 0)
+        wire = self._encode(plan.data(params, "send_buf"))
+        payload = _apply_send_count(wire, plan.data(params, "send_count"))
+        count = _length_of(payload)
+        counts = plan.in_data(params, "recv_counts")
+        if counts is None:
+            counts = self._guard(lambda: self.raw.gather(count, rt))
+        counts = _as_int_list(counts) if counts is not None else None
+        out = self._guard(lambda: self.raw.gatherv(payload, counts, rt))
+        if self.rank != rt:
+            return self._finish(plan, params, {})
+        displs = _exclusive_prefix(counts)
+        produced = {
+            "recv_buf": wire.decode(out),
+            "recv_counts": counts,
+            "recv_displs": displs,
+        }
+        return self._finish(plan, params, produced)
+
+    def scatter(self, *params: Parameter) -> Any:
+        """Fixed-size scatter: the root's ``send_buf`` is split into equal blocks."""
+        plan = self._plan("scatter", params)
+        rt = plan.data(params, "root", 0)
+        if self.rank == rt:
+            data = plan.data(params, "send_buf")
+            if data is None:
+                raise UsageError("scatter requires send_buf on the root")
+            wire = self._encode(data)
+            if wire.count % self.size != 0:
+                raise UsageError(
+                    f"scatter send_buf has {wire.count} elements, not divisible "
+                    f"by communicator size {self.size}"
+                )
+            b = wire.count // self.size
+            arr = wire.payload
+            blocks = [arr[i * b:(i + 1) * b] for i in range(self.size)]
+            out = self._guard(lambda: self.raw.scatter(blocks, rt))
+            value = wire.decode(out)
+        else:
+            out = self._guard(lambda: self.raw.scatter(None, rt))
+            value = out
+        return self._finish(plan, params, {"recv_buf": value})
+
+    def scatterv(self, *params: Parameter) -> Any:
+        """Variable scatter; receive counts are delivered by the scatter itself."""
+        plan = self._plan("scatterv", params)
+        rt = plan.data(params, "root", 0)
+        if self.rank == rt:
+            data = plan.data(params, "send_buf")
+            counts = plan.data(params, "send_counts")
+            if data is None or counts is None:
+                raise UsageError("scatterv requires send_buf and send_counts on the root")
+            wire = self._encode(data)
+            payload = _with_send_displs(
+                wire.payload, counts, plan.in_data(params, "send_displs")
+            )
+            out = self._guard(
+                lambda: self.raw.scatterv(payload, _as_int_list(counts), rt)
+            )
+            value = wire.decode(out)
+        else:
+            out = self._guard(lambda: self.raw.scatterv(None, None, rt))
+            value = out
+        produced = {"recv_buf": value, "recv_count": _length_of(out)}
+        return self._finish(plan, params, produced)
+
+    def allgather(self, *params: Parameter) -> Any:
+        """Fixed-size allgather, with the simplified in-place variant (§III-G).
+
+        - ``allgather(send_buf(v))`` concatenates equal-size blocks.
+        - ``allgather(send_recv_buf(data))`` takes input from the own block of
+          ``data`` and fills the whole buffer — no ``MPI_IN_PLACE`` footguns.
+        """
+        plan = self._plan("allgather", params)
+        if plan.has("send_recv_buf"):
+            return self._allgather_inplace(plan, params)
+        if not plan.has("send_buf"):
+            raise UsageError("allgather requires send_buf (or send_recv_buf)")
+        wire = self._encode(plan.data(params, "send_buf"))
+        payload = _apply_send_count(wire, plan.data(params, "send_count"))
+        self._assert_uniform_counts("allgather", _length_of(payload))
+        blocks = self._guard(lambda: self.raw.allgather(payload))
+        value = _decode_blocks(wire, blocks)
+        # recv_buf defaults to an implicit out here (send_buf variant)
+        entries: list[tuple[str, Any]] = []
+        recv_param = plan.get(params, "recv_buf")
+        if recv_param is not None and "recv_buf" in plan.referencing_out:
+            _write_into(recv_param.data, value, recv_param.resize)
+            return pack_result(entries)
+        return value
+
+    def _allgather_inplace(self, plan: CallPlan, params: Sequence[Parameter]) -> Any:
+        param = plan.get(params, "send_recv_buf")
+        data = param.data
+        n = _length_of(data)
+        if n % self.size != 0:
+            raise UsageError(
+                f"in-place allgather buffer has {n} elements, not divisible by "
+                f"communicator size {self.size}"
+            )
+        b = n // self.size
+        arr = np.asarray(data)
+        own = arr[self.rank * b:(self.rank + 1) * b]
+        blocks = self._guard(lambda: self.raw.allgather(own))
+        full = _concat_wire(blocks)
+        if isinstance(data, np.ndarray) and not param.moved:
+            data[:] = full
+            return pack_result([])
+        if isinstance(data, list) and not param.moved:
+            data[:] = full.tolist()
+            return pack_result([])
+        value = _reuse_storage(data, full) if param.moved else full
+        if isinstance(data, list):
+            value = value.tolist() if isinstance(value, np.ndarray) else value
+        return pack_result([("send_recv_buf", value)])
+
+    def allgatherv(self, *params: Parameter) -> Any:
+        """Variable allgather — the paper's running example (Fig. 1/2/3).
+
+        Receive counts omitted ⇒ one raw ``allgather`` of the local count;
+        displacements omitted ⇒ local exclusive prefix sum.  With counts and
+        displacements provided, exactly one raw ``allgatherv`` is issued.
+        """
+        plan = self._plan("allgatherv", params)
+        wire = self._encode(plan.data(params, "send_buf"))
+        payload = _apply_send_count(wire, plan.data(params, "send_count"))
+        count = _length_of(payload)
+        counts = plan.in_data(params, "recv_counts")
+        if counts is None:
+            counts = self._guard(lambda: self.raw.allgather(count))
+        counts = _as_int_list(counts)
+        out = self._guard(lambda: self.raw.allgatherv(payload, counts))
+        displs_param = plan.in_data(params, "recv_displs")
+        if displs_param is not None:
+            displs = _as_int_list(displs_param)
+            out = _place_at_displs(out, counts, displs)
+        else:
+            displs = _exclusive_prefix(counts)
+        produced = {
+            "recv_buf": wire.decode(out),
+            "recv_counts": counts,
+            "recv_displs": displs,
+        }
+        return self._finish(plan, params, produced)
+
+    def alltoall(self, *params: Parameter) -> Any:
+        """Fixed-size all-to-all: ``send_buf`` holds ``size`` equal blocks."""
+        plan = self._plan("alltoall", params)
+        wire = self._encode(plan.data(params, "send_buf"))
+        if wire.count % self.size != 0:
+            raise UsageError(
+                f"alltoall send_buf has {wire.count} elements, not divisible "
+                f"by communicator size {self.size}"
+            )
+        b = wire.count // self.size
+        arr = wire.payload
+        blocks = [arr[i * b:(i + 1) * b] for i in range(self.size)]
+        out_blocks = self._guard(lambda: self.raw.alltoall(blocks))
+        value = wire.decode(_concat_wire(out_blocks))
+        return self._finish(plan, params, {"recv_buf": value})
+
+    def alltoallv(self, *params: Parameter) -> Any:
+        """Variable all-to-all with count inference (§III-A).
+
+        Receive counts omitted ⇒ one raw ``alltoall`` exchanging the count
+        vectors, then one raw ``alltoallv``.
+        """
+        plan = self._plan("alltoallv", params)
+        wire = self._encode(plan.data(params, "send_buf"))
+        scounts = _as_int_list(plan.data(params, "send_counts"))
+        if len(scounts) != self.size:
+            raise UsageError(
+                f"send_counts has {len(scounts)} entries, expected {self.size}"
+            )
+        payload = _with_send_displs(
+            wire.payload, scounts, plan.in_data(params, "send_displs")
+        )
+        rcounts = plan.in_data(params, "recv_counts")
+        if rcounts is None:
+            rcounts = self._guard(lambda: self.raw.alltoall(list(scounts)))
+        rcounts = _as_int_list(rcounts)
+        out = self._guard(lambda: self.raw.alltoallv(payload, scounts, rcounts))
+        rdispls_param = plan.in_data(params, "recv_displs")
+        if rdispls_param is not None:
+            rdispls = _as_int_list(rdispls_param)
+            out = _place_at_displs(out, rcounts, rdispls)
+        else:
+            rdispls = _exclusive_prefix(rcounts)
+        produced = {
+            "recv_buf": wire.decode(out),
+            "recv_counts": rcounts,
+            "recv_displs": rdispls,
+        }
+        return self._finish(plan, params, produced)
+
+    # -- non-blocking collectives (MPI-3, with §III-E safety) ---------------------
+
+    def ibcast(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking broadcast; the value is only reachable after wait()."""
+        plan = self._plan("bcast", params)  # same parameter contract as bcast
+        rt = plan.data(params, "root", 0)
+        param = plan.get(params, "send_recv_buf")
+        data = param.data
+        serial = isinstance(data, SerializationWrapper)
+        if self.rank == rt:
+            payload = data.encode() if serial else data
+            if serial:
+                self._decode_bytes_charge(len(payload))
+        else:
+            payload = None
+        raw_req = self._guard(lambda: self.raw.ibcast(payload, rt))
+        poisons = []
+        poison = poison_if_array(data)
+        if poison is not None:
+            poisons.append(poison)
+
+        def assemble(value: Any) -> Any:
+            if serial:
+                if self.rank == rt:
+                    return data.obj
+                self._decode_bytes_charge(len(value))
+                return data.archive.loads(value)
+            return value
+
+        return NonBlockingResult(raw_req, assemble=assemble, poisons=poisons)
+
+    def iallreduce(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking allreduce (commutative operations)."""
+        plan = self._plan("allreduce", params)
+        operation: Op = plan.data(params, "op")
+        wire = self._encode(plan.data(params, "send_buf"))
+        raw_req = self._guard(lambda: self.raw.iallreduce(wire.payload, operation))
+        poisons = []
+        poison = poison_if_array(plan.data(params, "send_buf"))
+        if poison is not None:
+            poisons.append(poison)
+        return NonBlockingResult(raw_req, assemble=wire.decode, poisons=poisons)
+
+    def iallgather(self, *params: Parameter) -> NonBlockingResult:
+        """Non-blocking allgather of equal-size contributions."""
+        plan = self._plan("allgather", params)
+        if not plan.has("send_buf"):
+            raise UsageError("iallgather requires send_buf")
+        wire = self._encode(plan.data(params, "send_buf"))
+        raw_req = self._guard(lambda: self.raw.iallgather(wire.payload))
+        poisons = []
+        poison = poison_if_array(plan.data(params, "send_buf"))
+        if poison is not None:
+            poisons.append(poison)
+        return NonBlockingResult(
+            raw_req, assemble=lambda blocks: _decode_blocks(wire, blocks),
+            poisons=poisons,
+        )
+
+    # -- one-sided communication -----------------------------------------------
+
+    def win_create(self, local: Any) -> "Window":
+        """Collectively create a safe RMA window over ``local`` memory."""
+        from repro.core.rma import Window
+
+        return Window(self, local)
+
+    # -- neighborhood collectives (on dist-graph communicators) ------------------
+
+    def neighbor_alltoall(self, *params: Parameter) -> Any:
+        """Exchange one equal-size block per topology neighbor."""
+        plan = self._plan("neighbor_alltoall", params)
+        topo = self.raw.topology
+        if topo is None:
+            raise UsageError(
+                "neighbor collectives need a topology communicator; create "
+                "one with with_topology(sources, destinations)"
+            )
+        sources, destinations = topo
+        wire = self._encode(plan.data(params, "send_buf"))
+        if destinations and wire.count % len(destinations) != 0:
+            raise UsageError(
+                f"neighbor_alltoall send_buf has {wire.count} elements, not "
+                f"divisible by the {len(destinations)} destinations"
+            )
+        b = wire.count // len(destinations) if destinations else 0
+        arr = wire.payload
+        blocks = [arr[i * b:(i + 1) * b] for i in range(len(destinations))]
+        out = self._guard(lambda: self.raw.neighbor_alltoall(blocks))
+        return self._finish(plan, params, {"recv_buf": _decode_blocks(wire, out)})
+
+    def neighbor_alltoallv(self, *params: Parameter) -> Any:
+        """Variable neighborhood exchange with count inference.
+
+        Receive counts omitted ⇒ one raw ``neighbor_alltoall`` exchanging the
+        counts — Θ(degree), never Θ(p).
+        """
+        plan = self._plan("neighbor_alltoallv", params)
+        topo = self.raw.topology
+        if topo is None:
+            raise UsageError(
+                "neighbor collectives need a topology communicator; create "
+                "one with with_topology(sources, destinations)"
+            )
+        wire = self._encode(plan.data(params, "send_buf"))
+        scounts = _as_int_list(plan.data(params, "send_counts"))
+        rcounts = plan.in_data(params, "recv_counts")
+        if rcounts is None:
+            rcounts = self._guard(
+                lambda: self.raw.neighbor_alltoall([[c] for c in scounts])
+            )
+            rcounts = [int(c[0]) for c in rcounts]
+        rcounts = _as_int_list(rcounts)
+        out = self._guard(
+            lambda: self.raw.neighbor_alltoallv(wire.payload, scounts, rcounts)
+        )
+        produced = {"recv_buf": wire.decode(out), "recv_counts": rcounts}
+        return self._finish(plan, params, produced)
+
+    # -- reductions ------------------------------------------------------------
+
+    def reduce(self, *params: Parameter) -> Any:
+        """Rooted reduction; result delivered at the root only."""
+        plan = self._plan("reduce", params)
+        rt = plan.data(params, "root", 0)
+        operation: Op = plan.data(params, "op")
+        wire = self._encode(plan.data(params, "send_buf"))
+        out = self._guard(lambda: self.raw.reduce(wire.payload, operation, rt))
+        if self.rank != rt:
+            return self._finish(plan, params, {})
+        return self._finish(plan, params, {"recv_buf": wire.decode(out)})
+
+    def reduce_single(self, *params: Parameter) -> Any:
+        """Reduction of a single value per rank."""
+        return self.reduce(*params)
+
+    def allreduce(self, *params: Parameter) -> Any:
+        """Reduction with the result on every rank."""
+        plan = self._plan("allreduce", params)
+        operation: Op = plan.data(params, "op")
+        if plan.has("send_recv_buf"):
+            param = plan.get(params, "send_recv_buf")
+            wire = self._encode(param.data)
+            out = self._guard(lambda: self.raw.allreduce(wire.payload, operation))
+            if isinstance(param.data, np.ndarray) and not param.moved:
+                param.data[:] = out
+                return pack_result([])
+            value = wire.decode(out)
+            return pack_result([("send_recv_buf", value)])
+        wire = self._encode(plan.data(params, "send_buf"))
+        out = self._guard(lambda: self.raw.allreduce(wire.payload, operation))
+        value = wire.decode(out)
+        recv_param = plan.get(params, "recv_buf")
+        if recv_param is not None and "recv_buf" in plan.referencing_out:
+            _write_into(recv_param.data, _ensure_seq(value), recv_param.resize)
+            return None
+        return value
+
+    def allreduce_single(self, *params: Parameter) -> Any:
+        """Allreduce of a single value per rank — e.g. the BFS termination check
+        ``allreduce_single(send_buf(frontier_empty), op(logical_and))`` (Fig. 9)."""
+        return self.allreduce(*params)
+
+    def scan(self, *params: Parameter) -> Any:
+        """Inclusive prefix reduction."""
+        plan = self._plan("scan", params)
+        operation: Op = plan.data(params, "op")
+        wire = self._encode(plan.data(params, "send_buf"))
+        out = self._guard(lambda: self.raw.scan(wire.payload, operation))
+        return self._finish(plan, params, {"recv_buf": wire.decode(out)})
+
+    def scan_single(self, *params: Parameter) -> Any:
+        return self.scan(*params)
+
+    def exscan(self, *params: Parameter) -> Any:
+        """Exclusive prefix reduction; rank 0 yields ``values_on_rank_0`` (or
+        the op identity) instead of MPI's undefined value."""
+        plan = self._plan("exscan", params)
+        operation: Op = plan.data(params, "op")
+        wire = self._encode(plan.data(params, "send_buf"))
+        out = self._guard(lambda: self.raw.exscan(wire.payload, operation))
+        if self.rank == 0:
+            if plan.has("values_on_rank_0"):
+                out = plan.data(params, "values_on_rank_0")
+                return self._finish(plan, params, {"recv_buf": out})
+            if out is None:
+                raise UsageError(
+                    "exscan on rank 0 is undefined for this op; pass "
+                    "values_on_rank_0(...) or use an op with an identity"
+                )
+            payload = wire.payload
+            if isinstance(payload, np.ndarray) and isinstance(out, np.ndarray):
+                out = out.astype(payload.dtype, copy=False)
+        return self._finish(plan, params, {"recv_buf": wire.decode(out)})
+
+    def exscan_single(self, *params: Parameter) -> Any:
+        return self.exscan(*params)
+
+    # -- consistency assertions (COMMUNICATION level) -----------------------------
+
+    def _assert_uniform_counts(self, op_name: str, count: int) -> None:
+        """Heavy check: fixed-size collectives need equal counts on all ranks."""
+        from repro.core.errors import assertion_level
+
+        if assertion_level() < AssertionLevel.COMMUNICATION:
+            return
+        counts = self.raw.allgather(count)
+        kassert(
+            AssertionLevel.COMMUNICATION,
+            len(set(counts)) == 1,
+            f"{op_name} requires equal send counts on all ranks, got {counts}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# module-level helpers
+# ---------------------------------------------------------------------------
+
+
+def _ensure_seq(value: Any) -> Any:
+    """Wrap a scalar so it can be written into a referencing container."""
+    if isinstance(value, (np.ndarray, list)):
+        return value
+    return [value]
+
+
+def _length_of(data: Any) -> int:
+    if data is None:
+        return 0
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, np.ndarray):
+        return len(data) if data.ndim else 1
+    if hasattr(data, "__len__"):
+        return len(data)
+    return 1
+
+
+def _as_int_list(counts: Any) -> list[int]:
+    if isinstance(counts, np.ndarray):
+        return [int(c) for c in counts.tolist()]
+    return [int(c) for c in counts]
+
+
+def _exclusive_prefix(counts: Sequence[int]) -> list[int]:
+    displs = [0] * len(counts)
+    run = 0
+    for i, c in enumerate(counts):
+        displs[i] = run
+        run += int(c)
+    return displs
+
+
+def _apply_send_count(wire: _types.WireBuffer, send_count: Optional[int]) -> Any:
+    payload = wire.payload
+    if send_count is None:
+        return payload
+    if send_count > _length_of(payload):
+        raise UsageError(
+            f"send_count({send_count}) exceeds the send buffer size "
+            f"{_length_of(payload)}"
+        )
+    if isinstance(payload, np.ndarray):
+        return payload[:send_count]
+    return payload[:send_count]
+
+
+def _with_send_displs(payload: Any, counts: Sequence[int],
+                      displs: Optional[Sequence[int]]) -> Any:
+    """Rearrange a send buffer described by explicit displacements into the
+    contiguous layout the raw layer expects."""
+    if displs is None:
+        return payload
+    arr = np.asarray(payload)
+    parts = [
+        arr[int(d): int(d) + int(c)] for c, d in zip(counts, displs)
+    ]
+    return np.concatenate(parts) if parts else arr[:0]
+
+
+def _place_at_displs(contiguous: np.ndarray, counts: Sequence[int],
+                     displs: Sequence[int]) -> np.ndarray:
+    """Scatter contiguously received blocks to explicit displacements."""
+    if list(displs) == _exclusive_prefix(counts):
+        return contiguous
+    total = max(
+        (int(d) + int(c) for c, d in zip(counts, displs)), default=0
+    )
+    out = np.zeros(total, dtype=contiguous.dtype if len(contiguous) else np.int64)
+    offset = 0
+    for c, d in zip(counts, displs):
+        c, d = int(c), int(d)
+        out[d: d + c] = contiguous[offset: offset + c]
+        offset += c
+    return out
+
+
+def _write_into(container: Any, value: Any, policy: ResizePolicy) -> None:
+    """Write a produced out-value into a caller-supplied referencing container."""
+    if isinstance(container, list):
+        seq = value.tolist() if isinstance(value, np.ndarray) else list(value)
+        apply_policy_to_list(container, seq, policy)
+        return
+    if isinstance(container, np.ndarray):
+        arr = np.asarray(value)
+        check_array_capacity(len(container), len(arr), policy)
+        container[: len(arr)] = arr
+        return
+    raise UsageError(
+        f"cannot write into out-container of type {type(container).__name__}; "
+        f"supported referencing containers: list, numpy.ndarray"
+    )
+
+
+def _reuse_storage(container: Any, value: Any) -> Any:
+    """Reuse a moved-in container's storage when shapes allow (move semantics)."""
+    if isinstance(container, np.ndarray) and isinstance(value, np.ndarray):
+        if container.dtype == value.dtype and len(container) >= len(value):
+            container[: len(value)] = value
+            return container[: len(value)]
+        return value
+    if isinstance(container, list):
+        container[:] = value.tolist() if isinstance(value, np.ndarray) else list(value)
+        return container
+    return value
+
+
+def _decode_blocks(wire: _types.WireBuffer, blocks: list) -> Any:
+    """Decode a gathered list of per-rank wire blocks.
+
+    A scalar contribution per rank yields a list of p scalars; container
+    contributions yield the decoded concatenation.
+    """
+    merged = _concat_wire(blocks)
+    if wire.scalar:
+        return merged.tolist() if isinstance(merged, np.ndarray) else list(merged)
+    return wire.decode(merged)
+
+
+def _concat_wire(blocks: list) -> Any:
+    """Concatenate per-rank wire blocks, preserving array payloads."""
+    if all(isinstance(b, np.ndarray) for b in blocks):
+        return np.concatenate([b if b.ndim else b.reshape(1) for b in blocks])
+    out: list = []
+    for b in blocks:
+        if isinstance(b, np.ndarray):
+            out.extend(b.tolist())
+        elif isinstance(b, (list, tuple)):
+            out.extend(b)
+        else:
+            out.append(b)
+    return np.asarray(out)

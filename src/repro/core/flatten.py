@@ -1,0 +1,71 @@
+"""``with_flattened`` — flatten destination→message maps (paper Fig. 9).
+
+Irregular algorithms naturally produce *nested* send data: a mapping from
+destination rank to a bucket of elements.  ``with_flattened`` turns such a
+container into the contiguous send buffer + send counts that variable
+collectives need, and hands them to a callback as ready-made named
+parameters::
+
+    recv = with_flattened(frontier, comm.size).call(
+        lambda *flattened: comm.alltoallv(*flattened)
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import UsageError
+from repro.core.named_params import send_buf, send_counts
+from repro.core.parameters import Parameter
+
+
+class Flattened:
+    """A flattened destination→data container, ready to feed a v-collective."""
+
+    __slots__ = ("data", "counts")
+
+    def __init__(self, data: np.ndarray, counts: list[int]):
+        self.data = data
+        self.counts = counts
+
+    def params(self) -> tuple[Parameter, Parameter]:
+        """The ``send_buf`` and ``send_counts`` named parameters."""
+        return send_buf(self.data), send_counts(self.counts)
+
+    def call(self, fn: Callable[..., Any]) -> Any:
+        """Invoke ``fn`` with the flattened named parameters."""
+        return fn(*self.params())
+
+
+def with_flattened(nested: Any, comm_size: int) -> Flattened:
+    """Flatten a destination→messages container.
+
+    Accepts a mapping ``{destination: sequence}`` (missing destinations send
+    nothing) or a sequence of ``comm_size`` per-destination sequences.
+    """
+    if isinstance(nested, Mapping):
+        buckets: list[Sequence] = [()] * comm_size
+        for dest, items in nested.items():
+            if not 0 <= int(dest) < comm_size:
+                raise UsageError(
+                    f"destination {dest} out of range for communicator of "
+                    f"size {comm_size}"
+                )
+            buckets[int(dest)] = items
+    else:
+        buckets = list(nested)
+        if len(buckets) != comm_size:
+            raise UsageError(
+                f"per-destination container has {len(buckets)} entries, "
+                f"expected {comm_size}"
+            )
+    counts = [len(b) for b in buckets]
+    arrays = [np.asarray(b) for b in buckets if len(b)]
+    if arrays:
+        data = np.concatenate(arrays)
+    else:
+        data = np.empty(0, dtype=np.int64)
+    return Flattened(data, counts)

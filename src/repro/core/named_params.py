@@ -1,0 +1,217 @@
+"""Named-parameter factory functions (paper §III-A/§III-B).
+
+These are KaMPIng's user-facing vocabulary: lightweight factory functions
+that build :class:`~repro.core.parameters.Parameter` objects.  Parameters can
+be passed in any order; the call-plan compiler checks presence and
+compatibility once per parameter signature and computes sensible defaults for
+everything omitted.
+
+``*_out()`` factories request a value *back* from the call; passing a
+container to an ``*_out()`` factory writes the value into it (by reference,
+or by move when wrapped in :func:`~repro.core.buffers.move`).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Optional
+
+from repro.core.buffers import unwrap_moved
+from repro.core.errors import UsageError
+from repro.core.parameters import IN, INOUT, OUT, Parameter
+from repro.core.resize import ResizePolicy, no_resize
+from repro.mpi import ops as _ops
+from repro.mpi.ops import Op
+
+
+def _in(key: str, data: Any, **options: Any) -> Parameter:
+    value, moved = unwrap_moved(data)
+    return Parameter(key, IN, value, moved=moved, options=options)
+
+
+def _out(key: str, container: Any = None, resize: ResizePolicy = no_resize) -> Parameter:
+    value, moved = unwrap_moved(container)
+    return Parameter(key, OUT, value, resize=resize, moved=moved)
+
+
+# -- buffers -----------------------------------------------------------------
+
+def send_buf(data: Any) -> Parameter:
+    """The data this rank contributes to the operation."""
+    return _in("send_buf", data)
+
+
+def send_buf_out(data: Any) -> Parameter:
+    """Send buffer whose container should be re-returned on completion.
+
+    Used with non-blocking calls: ``isend(send_buf_out(move(v)), ...)`` hands
+    the buffer to the operation and gets it back from ``wait()`` (Fig. 6).
+    """
+    value, moved = unwrap_moved(data)
+    return Parameter("send_buf", INOUT, value, moved=moved)
+
+
+def recv_buf(container: Any = None, resize: ResizePolicy = no_resize) -> Parameter:
+    """Where to put received data.
+
+    Without a container the result is returned by value.  With a container it
+    is written in place under ``resize`` (pass ``move(container)`` to have
+    the storage reused *and* returned by value).
+    """
+    return _out("recv_buf", container, resize)
+
+
+def send_recv_buf(data: Any, resize: ResizePolicy = no_resize) -> Parameter:
+    """In-place buffer: both contributes and receives (simplified ``MPI_IN_PLACE``)."""
+    value, moved = unwrap_moved(data)
+    return Parameter("send_recv_buf", INOUT, value, resize=resize, moved=moved)
+
+
+# -- counts & displacements ----------------------------------------------------
+
+def send_counts(counts: Any) -> Parameter:
+    """Per-destination element counts for all-to-all style operations."""
+    return _in("send_counts", counts)
+
+
+def send_counts_out(container: Any = None,
+                    resize: ResizePolicy = no_resize) -> Parameter:
+    """Request the (library-computed) send counts back."""
+    return _out("send_counts", container, resize)
+
+
+def recv_counts(counts: Any) -> Parameter:
+    """Per-source element counts; omitting them makes the library exchange counts."""
+    return _in("recv_counts", counts)
+
+
+def recv_counts_out(container: Any = None,
+                    resize: ResizePolicy = no_resize) -> Parameter:
+    """Request the inferred receive counts back (avoids re-computing them)."""
+    return _out("recv_counts", container, resize)
+
+
+def send_displs(displs: Any) -> Parameter:
+    """Explicit per-destination send displacements (offsets into send_buf)."""
+    return _in("send_displs", displs)
+
+
+def send_displs_out(container: Any = None,
+                    resize: ResizePolicy = no_resize) -> Parameter:
+    """Request the (library-computed) send displacements back."""
+    return _out("send_displs", container, resize)
+
+
+def recv_displs(displs: Any) -> Parameter:
+    """Explicit per-source receive displacements (offsets into recv_buf)."""
+    return _in("recv_displs", displs)
+
+
+def recv_displs_out(container: Any = None,
+                    resize: ResizePolicy = no_resize) -> Parameter:
+    """Request the inferred receive displacements back (local prefix sum)."""
+    return _out("recv_displs", container, resize)
+
+
+def send_count(count: int) -> Parameter:
+    """Explicit number of elements to send (otherwise inferred from send_buf)."""
+    return _in("send_count", int(count))
+
+
+def recv_count(count: int) -> Parameter:
+    """Explicit number of elements to receive (e.g. for ``irecv``)."""
+    return _in("recv_count", int(count))
+
+
+def recv_count_out(container: Any = None) -> Parameter:
+    """Request the number of received elements back (e.g. from scatterv)."""
+    return _out("recv_count", container)
+
+
+def send_recv_count(count: int) -> Parameter:
+    """Element count of an in-place buffer where MPI would take one count."""
+    return _in("send_recv_count", int(count))
+
+
+# -- scalar control parameters ---------------------------------------------------
+
+def root(rank: int) -> Parameter:
+    """Root rank of a rooted collective (default 0)."""
+    return _in("root", int(rank))
+
+
+def destination(rank: int) -> Parameter:
+    """Destination rank of a point-to-point send."""
+    return _in("destination", int(rank))
+
+
+def source(rank: int) -> Parameter:
+    """Source rank of a receive (default: any source)."""
+    return _in("source", int(rank))
+
+
+def tag(value: int) -> Parameter:
+    """Message tag (default 0)."""
+    return _in("tag", int(value))
+
+
+def values_on_rank_0(value: Any) -> Parameter:
+    """Value exscan should produce on rank 0 (which MPI leaves undefined)."""
+    return _in("values_on_rank_0", value)
+
+
+def status_out() -> Parameter:
+    """Request the receive status (source / tag / size) back."""
+    return _out("status")
+
+
+# -- reduction operations -----------------------------------------------------------
+
+import numpy as np
+
+_FUNCTOR_MAP = {
+    operator.add: _ops.SUM,
+    operator.mul: _ops.PROD,
+    operator.and_: _ops.BAND,
+    operator.or_: _ops.BOR,
+    operator.xor: _ops.BXOR,
+    min: _ops.MIN,
+    max: _ops.MAX,
+    sum: _ops.SUM,
+    np.add: _ops.SUM,
+    np.multiply: _ops.PROD,
+    np.maximum: _ops.MAX,
+    np.minimum: _ops.MIN,
+    np.logical_and: _ops.LAND,
+    np.logical_or: _ops.LOR,
+}
+
+
+def op(operation: Any, *, commutative: Optional[bool] = None) -> Parameter:
+    """Reduction operation parameter.
+
+    Accepts a built-in :class:`~repro.mpi.ops.Op`, a well-known functor
+    (``operator.add`` → SUM, like KaMPIng's ``std::plus`` mapping, which lets
+    the implementation use optimized built-in reductions), or any binary
+    callable (the "reduction via lambda" feature).  Lambdas default to
+    commutative; pass ``commutative=False`` for order-sensitive reductions.
+    """
+    if isinstance(operation, Op):
+        resolved = operation
+        if commutative is not None and commutative != operation.commutative:
+            resolved = Op(operation.name, operation.fn, commutative,
+                          operation.identity)
+    elif operation in _FUNCTOR_MAP:
+        resolved = _FUNCTOR_MAP[operation]
+        if commutative is not None and commutative != resolved.commutative:
+            resolved = Op(resolved.name, resolved.fn, commutative, resolved.identity)
+    elif callable(operation):
+        resolved = _ops.user_op(
+            operation, commutative=True if commutative is None else commutative
+        )
+    else:
+        raise UsageError(
+            f"op() requires an Op, a known functor, or a binary callable; "
+            f"got {operation!r}"
+        )
+    return Parameter("op", IN, resolved)

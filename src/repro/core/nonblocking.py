@@ -1,0 +1,147 @@
+"""Memory-safe non-blocking communication (paper §III-E).
+
+MPI hands out request handles and trusts the user not to touch in-flight
+buffers.  KaMPIng instead returns a **non-blocking result** that *owns* all
+data involved:
+
+- received data is only reachable through :meth:`NonBlockingResult.wait` /
+  a successful :meth:`NonBlockingResult.test` — there is no way to observe a
+  partially-received buffer;
+- moved-in send buffers are held by the result and re-returned on
+  completion, without copying;
+- NumPy send buffers are poisoned (made read-only) while in flight and
+  restored on completion, so accidental writes raise immediately.
+
+:class:`RequestPool` collects multiple results for bulk completion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.buffers import Poison
+from repro.core.errors import InFlightAccessError
+from repro.mpi.requests import RawRequest
+
+
+class NonBlockingResult:
+    """Owns a raw request plus every buffer taking part in the operation."""
+
+    def __init__(self, raw: RawRequest,
+                 assemble: Callable[[Any], Any] = lambda value: value,
+                 poisons: Sequence[Poison] = (),
+                 held: Any = None):
+        self._raw = raw
+        self._assemble = assemble
+        self._poisons = list(poisons)
+        self._held = held
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        """Complete the operation and return the owned data.
+
+        For receives this is the received data; for sends with moved-in
+        buffers the buffer is returned to the caller (Fig. 6).
+        """
+        if not self._done:
+            raw_value = self._raw.wait()
+            self._finish(raw_value)
+        return self._value
+
+    def test(self) -> Optional[Any]:
+        """Return the owned data if the operation completed, else ``None``.
+
+        The ``std::optional`` analog: before completion the data simply does
+        not exist from the caller's perspective.
+        """
+        if self._done:
+            return self._value
+        done, raw_value = self._raw.test()
+        if not done:
+            return None
+        self._finish(raw_value)
+        return self._value
+
+    @property
+    def is_completed(self) -> bool:
+        if self._done:
+            return True
+        done, raw_value = self._raw.test()
+        if done:
+            self._finish(raw_value)
+        return done
+
+    def _finish(self, raw_value: Any) -> None:
+        for poison in self._poisons:
+            poison.release()
+        self._poisons.clear()
+        self._value = self._assemble(raw_value)
+        if self._value is None and self._held is not None:
+            self._value = self._held
+        self._done = True
+
+    def held_buffer(self) -> Any:
+        """Access the moved-in buffer; raises while the operation is pending."""
+        if not self._done:
+            raise InFlightAccessError(
+                "the buffer takes part in a pending non-blocking operation; "
+                "call wait() (or test() until completion) first"
+            )
+        return self._held
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "completed" if self._done else "pending"
+        return f"NonBlockingResult({state})"
+
+
+class RequestPool:
+    """Collects non-blocking results for bulk completion (paper §III-E).
+
+    The default pool is unbounded, like the paper's current implementation;
+    :class:`BoundedRequestPool` is the fixed-slot variant the paper describes
+    as future work — submitting to a full pool first completes the oldest
+    request.
+    """
+
+    def __init__(self) -> None:
+        self._results: list[NonBlockingResult] = []
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def submit(self, result: NonBlockingResult) -> NonBlockingResult:
+        self._results.append(result)
+        return result
+
+    def wait_all(self) -> list[Any]:
+        """Complete every pooled request; returns values in submission order."""
+        values = [r.wait() for r in self._results]
+        self._results.clear()
+        return values
+
+    def test_all(self) -> bool:
+        """True when every pooled request has completed."""
+        return all(r.is_completed for r in self._results)
+
+
+class BoundedRequestPool(RequestPool):
+    """Request pool with a fixed number of slots.
+
+    Limits the number of concurrent non-blocking operations: submitting to a
+    full pool blocks on (completes) the oldest pending request first and
+    returns its value through ``displaced``.
+    """
+
+    def __init__(self, slots: int):
+        super().__init__()
+        if slots < 1:
+            raise ValueError("a bounded pool needs at least one slot")
+        self.slots = slots
+        self.displaced: list[Any] = []
+
+    def submit(self, result: NonBlockingResult) -> NonBlockingResult:
+        if len(self._results) >= self.slots:
+            oldest = self._results.pop(0)
+            self.displaced.append(oldest.wait())
+        return super().submit(result)

@@ -1,0 +1,110 @@
+"""Parameter objects and the parameter registry.
+
+Named parameters are realized — as in the paper — by lightweight objects
+produced by factory functions (:mod:`repro.core.named_params`).  Each object
+carries its *parameter key* (send buffer, receive counts, …), its direction
+(in / out / in-out), its payload, and per-parameter options such as the
+resize policy or move-ownership.
+
+The registry is open: plugins may register new parameter keys
+(:func:`register_parameter`), which gives library extensions the full named
+parameter flexibility (paper §III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import UsageError
+from repro.core.resize import ResizePolicy, no_resize
+
+IN = "in"
+OUT = "out"
+INOUT = "inout"
+
+_REGISTRY: set[str] = set()
+
+
+def register_parameter(key: str) -> str:
+    """Register a parameter key (idempotent); returns the key."""
+    if not key.isidentifier():
+        raise UsageError(f"parameter key must be an identifier, got {key!r}")
+    _REGISTRY.add(key)
+    return key
+
+
+def is_registered(key: str) -> bool:
+    return key in _REGISTRY
+
+
+# Built-in parameter keys.
+SEND_BUF = register_parameter("send_buf")
+RECV_BUF = register_parameter("recv_buf")
+SEND_RECV_BUF = register_parameter("send_recv_buf")
+SEND_COUNTS = register_parameter("send_counts")
+RECV_COUNTS = register_parameter("recv_counts")
+SEND_DISPLS = register_parameter("send_displs")
+RECV_DISPLS = register_parameter("recv_displs")
+SEND_COUNT = register_parameter("send_count")
+RECV_COUNT = register_parameter("recv_count")
+SEND_RECV_COUNT = register_parameter("send_recv_count")
+OP = register_parameter("op")
+ROOT = register_parameter("root")
+DESTINATION = register_parameter("destination")
+SOURCE = register_parameter("source")
+TAG = register_parameter("tag")
+VALUES_ON_RANK_0 = register_parameter("values_on_rank_0")
+STATUS = register_parameter("status")
+
+
+@dataclass
+class Parameter:
+    """One named argument to a wrapped MPI call."""
+
+    key: str
+    direction: str
+    data: Any = None
+    resize: ResizePolicy = no_resize
+    moved: bool = False
+    #: free-form options (used by op(), serialization wrappers, plugins)
+    options: dict = field(default_factory=dict)
+
+    def signature(self) -> tuple:
+        """Hashable shape of this parameter for call-plan caching.
+
+        Deliberately excludes the payload: two calls with the same parameter
+        *shapes* share a plan, like two uses of one template instantiation.
+        """
+        return (
+            self.key,
+            self.direction,
+            self.moved,
+            self.data is not None,
+            self.resize,
+            _kind_of(self.data),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.key}, {self.direction})"
+
+
+def _kind_of(data: Any) -> str:
+    """Coarse container-kind classification used in plan signatures."""
+    import numpy as np
+
+    from repro.core.serialization import DeserializationWrapper, SerializationWrapper
+
+    if data is None:
+        return "none"
+    if isinstance(data, np.ndarray):
+        return "array"
+    if isinstance(data, list):
+        return "list"
+    if isinstance(data, SerializationWrapper):
+        return "serialized"
+    if isinstance(data, DeserializationWrapper):
+        return "deserializable"
+    if isinstance(data, (int, float, bool, str, bytes)):
+        return "scalar"
+    return "other"

@@ -1,0 +1,197 @@
+"""Call-plan compilation and caching — the template-instantiation analog.
+
+In C++ KaMPIng, the combination of named parameters a call site uses is fixed
+at compile time; template metaprogramming instantiates exactly the code paths
+needed (checking presence, computing defaults) with zero runtime dispatch.
+
+Python has no compile time, so the library compiles a **call plan** the first
+time it sees an ``(operation, parameter-signature)`` pair: all validation
+(unknown / duplicate / missing / ignored parameters) and the classification
+of which defaults must be computed happen once and are cached.  Steady-state
+calls do a single dictionary lookup plus direct indexing — the measurable
+"near zero overhead" claim reproduced by ``benchmarks/bench_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.errors import (
+    DuplicateParameterError,
+    MissingParameterError,
+    UnsupportedParameterError,
+    UsageError,
+)
+from repro.core.parameters import IN, INOUT, OUT, Parameter, is_registered
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Parameter contract of one wrapped MPI operation."""
+
+    name: str
+    #: keys that must be present (as in-parameters)
+    required: tuple[str, ...] = ()
+    #: keys that may be present; everything else is rejected with a clear error
+    optional: tuple[str, ...] = ()
+    #: keys the caller may request as out-parameters
+    out_allowed: tuple[str, ...] = ()
+    #: out keys implicitly produced even when not requested (recv_buf, usually)
+    implicit_out: tuple[str, ...] = ()
+    #: pairs (present_key, forbidden_key, reason): presence of one key makes
+    #: another an error — e.g. in-place buffers make send_buf an ignored
+    #: parameter, which KaMPIng diagnoses instead of silently ignoring
+    conflicts: tuple[tuple[str, str, str], ...] = ()
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        return frozenset(self.required) | frozenset(self.optional) | frozenset(
+            self.out_allowed
+        )
+
+
+@dataclass
+class CallPlan:
+    """Resolved handling recipe for one (operation, parameter-signature) pair."""
+
+    spec: OpSpec
+    #: position of each key in the argument tuple (−1: absent)
+    index: dict[str, int]
+    #: keys present as in/inout parameters
+    provided_in: frozenset[str]
+    #: out keys to return, in result order (recv_buf first, then call order)
+    out_keys: tuple[str, ...] = ()
+    #: out keys written into caller-supplied referencing containers
+    referencing_out: frozenset[str] = frozenset()
+
+    def get(self, params: Sequence[Parameter], key: str) -> Optional[Parameter]:
+        i = self.index.get(key, -1)
+        return params[i] if i >= 0 else None
+
+    def data(self, params: Sequence[Parameter], key: str,
+             default: Any = None) -> Any:
+        i = self.index.get(key, -1)
+        return params[i].data if i >= 0 else default
+
+    def in_data(self, params: Sequence[Parameter], key: str,
+                default: Any = None) -> Any:
+        """Payload of ``key`` only when it was passed as an *input*.
+
+        An out-parameter's container is target storage, not input — e.g.
+        ``recv_counts_out(buffer)`` must still trigger count inference.
+        """
+        i = self.index.get(key, -1)
+        if i < 0 or params[i].direction == OUT:
+            return default
+        return params[i].data
+
+    def has(self, key: str) -> bool:
+        return self.index.get(key, -1) >= 0
+
+
+class PlanCache:
+    """Per-operation cache of compiled call plans."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._cache: dict[tuple, CallPlan] = {}
+        self.compilations = 0
+
+    def lookup(self, spec: OpSpec, params: Sequence[Parameter]) -> CallPlan:
+        if not self.enabled:
+            self.compilations += 1
+            return compile_plan(spec, params)
+        key = (spec.name,) + tuple(
+            p.signature() if isinstance(p, Parameter)
+            else ("<not-a-parameter>", type(p).__name__)
+            for p in params
+        )
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = compile_plan(spec, params)
+            self._cache[key] = plan
+            self.compilations += 1
+        return plan
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.compilations = 0
+
+
+def compile_plan(spec: OpSpec, params: Sequence[Parameter]) -> CallPlan:
+    """Validate a parameter signature against ``spec`` and build its plan.
+
+    All usage errors surface here — once per call-site signature — with
+    human-readable messages naming the operation and the offending parameter.
+    """
+    index: dict[str, int] = {}
+    for i, p in enumerate(params):
+        if not isinstance(p, Parameter):
+            raise UsageError(
+                f"{spec.name}() arguments must be named parameters "
+                f"(send_buf(...), recv_counts_out(), ...); got {type(p).__name__}"
+            )
+        if not is_registered(p.key):
+            raise UsageError(f"unknown parameter key {p.key!r}")
+        if p.key in index:
+            raise DuplicateParameterError(spec.name, p.key)
+        if p.key not in spec.allowed:
+            raise UnsupportedParameterError(spec.name, p.key, tuple(spec.allowed))
+        index[p.key] = i
+
+    for req in spec.required:
+        if req not in index:
+            raise MissingParameterError(spec.name, req, spec.required)
+
+    for present, forbidden, reason in spec.conflicts:
+        if present in index and forbidden in index:
+            from repro.core.errors import IgnoredParameterError
+
+            raise IgnoredParameterError(spec.name, forbidden, reason)
+
+    provided_in = frozenset(
+        p.key for p in params if p.direction in (IN, INOUT)
+    )
+
+    # out-parameter handling: a requested out key is "owning" (returned by
+    # value) when no container was supplied or the container was moved in;
+    # otherwise it is "referencing" (written in place, not returned).
+    owning: list[str] = []
+    referencing: list[str] = []
+    for p in params:
+        if p.direction not in (OUT, INOUT):
+            continue
+        if p.key not in spec.out_allowed and p.direction == OUT:
+            raise UnsupportedParameterError(spec.name, p.key, spec.out_allowed)
+        if p.direction == INOUT and p.key not in spec.out_allowed:
+            continue  # inout data used purely as input for this op
+        from repro.core.parameters import _kind_of
+
+        # Only mutable containers passed by reference are written in place;
+        # wrappers, scalars, and moved-in containers are returned by value.
+        if (p.data is not None and not p.moved
+                and _kind_of(p.data) in ("array", "list")):
+            referencing.append(p.key)
+        else:
+            owning.append(p.key)
+
+    # implicit outs (normally recv_buf) are produced even when not requested
+    for key in spec.implicit_out:
+        if key not in index:
+            owning.insert(0, key)
+
+    # deterministic result order: implicit/explicit recv_buf first, then the
+    # remaining owning outs in call order (paper: structured bindings)
+    ordered = sorted(
+        owning,
+        key=lambda k: (0 if k in ("recv_buf", "send_recv_buf") else 1,
+                       index.get(k, -1)),
+    )
+    return CallPlan(
+        spec=spec,
+        index=index,
+        provided_in=provided_in,
+        out_keys=tuple(ordered),
+        referencing_out=frozenset(referencing),
+    )

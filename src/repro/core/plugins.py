@@ -1,0 +1,67 @@
+"""The plugin architecture (paper §III-F).
+
+KaMPIng keeps its core small; extensions — specialized collectives, fault
+tolerance, reproducible reductions — are *plugins* that add or override
+communicator member functions without touching application code.  In C++
+this is CRTP mixins on the ``Communicator`` template; here a plugin is a
+mixin class and :func:`extend` builds the combined communicator type::
+
+    GridComm = extend(Communicator, GridAlltoallPlugin)
+    comm = GridComm(raw)
+    comm.alltoallv_grid(...)
+
+Plugins may
+
+- define new member functions (and override existing ones),
+- register new *named parameters* (via
+  :func:`repro.core.parameters.register_parameter`), getting the full named
+  parameter flexibility for their extensions,
+- install error-handling hooks (:meth:`CommunicatorPlugin.on_error`), the
+  mechanism the ULFM plugin uses to map failures to exceptions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Type
+
+
+class CommunicatorPlugin:
+    """Base class for communicator plugins (mixin)."""
+
+    #: optional: named parameter keys this plugin introduces
+    parameter_keys: tuple[str, ...] = ()
+
+    @classmethod
+    def _install(cls) -> None:
+        """Register the plugin's named parameters (idempotent)."""
+        from repro.core.parameters import register_parameter
+
+        for key in cls.parameter_keys:
+            register_parameter(key)
+
+    def on_error(self, exc: BaseException) -> None:
+        """Error hook: called for communication failures; may raise a
+        replacement exception.  Default: re-raise unchanged."""
+        raise exc
+
+
+def extend(base: Type, *plugins: Type[CommunicatorPlugin]) -> Type:
+    """Build a communicator class extended with ``plugins``.
+
+    Plugins listed first take precedence when several define the same member
+    (Python MRO), which is how a plugin *overrides* a core collective.
+    """
+    for plugin in plugins:
+        if not issubclass(plugin, CommunicatorPlugin):
+            raise TypeError(
+                f"{plugin.__name__} is not a CommunicatorPlugin subclass"
+            )
+        plugin._install()
+    name = base.__name__ + "With" + "".join(p.__name__ for p in plugins)
+    return type(name, tuple(plugins) + (base,), {})
+
+
+def plugin_method(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Decorator marking a plugin entry point (documentation aid)."""
+    fn.__is_plugin_method__ = True
+    return fn

@@ -1,0 +1,82 @@
+"""Result objects returned by wrapped MPI calls (paper §III-B).
+
+A call returns
+
+- nothing, when every requested out-parameter was written into a
+  caller-supplied (referencing) container;
+- the bare value, when exactly one out-parameter is returned by value
+  (the common ``auto v = comm.allgatherv(send_buf(v))`` case);
+- an :class:`MPIResult`, when several out-parameters are returned by value.
+  It supports both ``extract_*`` accessors (move semantics: each value can be
+  taken exactly once) and tuple unpacking in deterministic order — the
+  structured-bindings analog: ``buf, counts = comm.allgatherv(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.errors import UsageError
+
+_TAKEN = object()
+
+
+class MPIResult:
+    """Bundle of by-value out-parameters, in deterministic order."""
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, entries: list[tuple[str, Any]]):
+        self._keys = [k for k, _ in entries]
+        self._values = [v for _, v in entries]
+
+    def __iter__(self) -> Iterator[Any]:
+        for key, value in zip(self._keys, self._values):
+            if value is _TAKEN:
+                raise UsageError(
+                    f"result field '{key}' was already extracted; a value can "
+                    f"be taken exactly once (move semantics)"
+                )
+            yield value
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._keys)
+
+    def extract(self, key: str) -> Any:
+        """Take ownership of one out-parameter; a second take raises."""
+        try:
+            i = self._keys.index(key)
+        except ValueError:
+            raise UsageError(
+                f"result holds no field '{key}'; available: {self._keys}. "
+                f"Request it with the corresponding *_out() parameter."
+            ) from None
+        value = self._values[i]
+        if value is _TAKEN:
+            raise UsageError(
+                f"result field '{key}' was already extracted; a value can be "
+                f"taken exactly once (move semantics)"
+            )
+        self._values[i] = _TAKEN
+        return value
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("extract_"):
+            key = name[len("extract_"):]
+            return lambda: self.extract(key)
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MPIResult(fields={self._keys})"
+
+
+def pack_result(entries: list[tuple[str, Any]]) -> Any:
+    """Apply the return-value convention to a list of owning out-parameters."""
+    if not entries:
+        return None
+    if len(entries) == 1:
+        return entries[0][1]
+    return MPIResult(entries)

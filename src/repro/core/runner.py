@@ -1,0 +1,28 @@
+"""Convenience driver: run a function with a KaMPIng communicator per rank."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Type
+
+from repro.core.communicator import Communicator
+from repro.mpi.costmodel import CostModel
+from repro.mpi.machine import RunResult, run_mpi
+
+
+def run(fn: Callable[..., Any], num_ranks: int, *,
+        args: Sequence[Any] = (),
+        cost_model: Optional[CostModel] = None,
+        deadline: float = 120.0,
+        comm_class: Type[Communicator] = Communicator) -> RunResult:
+    """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
+
+    Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
+    :class:`~repro.core.communicator.Communicator` (optionally a plugin-
+    extended subclass via ``comm_class``) instead of the raw handle.
+    """
+
+    def entry(raw, *fn_args):
+        return fn(comm_class(raw), *fn_args)
+
+    return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
+                   deadline=deadline)

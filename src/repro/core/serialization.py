@@ -1,0 +1,112 @@
+"""Opt-in serialization (paper §III-D3).
+
+Some payloads (``dict``, ``str`` keys to heap data, arbitrary object graphs)
+cannot be described as flat datatypes.  KaMPIng supports them through
+*explicit* serialization: the user wraps the send buffer in
+:func:`as_serialized` and the receive buffer in :func:`as_deserializable`.
+Serialization never happens implicitly — hidden (de)serialization costs are
+precisely what the paper's zero-overhead philosophy forbids; sending an
+unsupported payload without the wrapper raises
+:class:`~repro.core.errors.SerializationRequiredError`.
+
+Archives are pluggable (binary and JSON ship with the library), mirroring the
+configurability Cereal gives the C++ implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Callable, Optional, Type
+
+
+class Archive:
+    """Serialization format: pairs ``dumps``/``loads``."""
+
+    name = "abstract"
+
+    def dumps(self, obj: Any) -> bytes:
+        raise NotImplementedError
+
+    def loads(self, data: bytes) -> Any:
+        raise NotImplementedError
+
+
+class BinaryArchive(Archive):
+    """Compact binary archive (pickle-based; the Cereal binary analog)."""
+
+    name = "binary"
+
+    def dumps(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def loads(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+class JsonArchive(Archive):
+    """Human-readable JSON archive for interoperable exchanges."""
+
+    name = "json"
+
+    def __init__(self, default: Optional[Callable[[Any], Any]] = None):
+        self._default = default
+
+    def dumps(self, obj: Any) -> bytes:
+        return json.dumps(obj, default=self._default).encode("utf-8")
+
+    def loads(self, data: bytes) -> Any:
+        return json.loads(data.decode("utf-8"))
+
+
+BINARY = BinaryArchive()
+JSON = JsonArchive()
+
+
+class SerializationWrapper:
+    """Marks a send payload for explicit serialization."""
+
+    __slots__ = ("obj", "archive")
+
+    def __init__(self, obj: Any, archive: Archive = BINARY):
+        self.obj = obj
+        self.archive = archive
+
+    def encode(self) -> bytes:
+        return self.archive.dumps(self.obj)
+
+
+class DeserializationWrapper:
+    """Marks a receive buffer for explicit deserialization.
+
+    ``expected_type`` is checked against the decoded object when provided —
+    the analog of ``as_deserializable<dict>()`` selecting the target type.
+    """
+
+    __slots__ = ("expected_type", "archive")
+
+    def __init__(self, expected_type: Optional[Type] = None, archive: Archive = BINARY):
+        self.expected_type = expected_type
+        self.archive = archive
+
+    def decode(self, data: bytes) -> Any:
+        obj = self.archive.loads(data)
+        if self.expected_type is not None and not isinstance(obj, self.expected_type):
+            from repro.core.errors import TypeMappingError
+
+            raise TypeMappingError(
+                f"deserialized object has type {type(obj).__name__}, "
+                f"expected {self.expected_type.__name__}"
+            )
+        return obj
+
+
+def as_serialized(obj: Any, archive: Archive = BINARY) -> SerializationWrapper:
+    """Explicitly enable serialization for a send payload (paper Fig. 5)."""
+    return SerializationWrapper(obj, archive)
+
+
+def as_deserializable(expected_type: Optional[Type] = None,
+                      archive: Archive = BINARY) -> DeserializationWrapper:
+    """Explicitly enable deserialization for a receive buffer (paper Fig. 5)."""
+    return DeserializationWrapper(expected_type, archive)

@@ -1,0 +1,488 @@
+"""``RawComm`` — the per-rank raw communicator handle (analog of ``MPI_Comm``).
+
+This class mirrors the *C API's* semantics on purpose: variable-size
+collectives require explicit counts, receives require the caller to know what
+arrives, and nothing protects in-flight buffers.  All the convenience the
+paper contributes lives one layer up in :mod:`repro.core`.
+
+Every public method increments a PMPI-style per-rank call counter, which lets
+tests reproduce the paper's methodology of asserting that the bindings issue
+*exactly* the expected MPI calls (Section III-H).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi import collectives as _coll
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, collective_tag, validate_user_tag
+from repro.mpi.costmodel import Clock
+from repro.mpi.datatypes import payload_nbytes, snapshot
+from repro.mpi.errors import (
+    RawCommRevoked,
+    RawProcessFailure,
+    RawUsageError,
+)
+from repro.mpi.machine import CommState, Machine
+from repro.mpi.ops import Op
+from repro.mpi.p2p import Envelope, Status
+from repro.mpi.requests import (
+    CompletedRequest,
+    CounterBarrierRequest,
+    RawRequest,
+    RecvRequest,
+    SyncSendRequest,
+)
+
+
+class RawComm:
+    """Raw communicator handle owned by a single rank thread."""
+
+    def __init__(self, machine: Machine, state: CommState, world_rank: int):
+        self.machine = machine
+        self.state = state
+        self.world_rank = world_rank
+        self._rank = state.local_of_world[world_rank]
+        self._coll_seq = 0
+        self._mgmt_seq = 0
+        self._ibarrier_epoch = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.state.size
+
+    @property
+    def comm_id(self) -> Hashable:
+        return self.state.comm_id
+
+    @property
+    def clock(self) -> Clock:
+        """This rank's virtual clock."""
+        return self.machine.clocks[self.world_rank]
+
+    def compute(self, seconds: float) -> None:
+        """Charge local computation time to the virtual clock."""
+        self.clock.compute(seconds)
+
+    # -- bookkeeping helpers ------------------------------------------------
+
+    def _count(self, op: str) -> None:
+        self.machine.profile[self.world_rank][op] += 1
+
+    def _check_usable(self) -> None:
+        if self.state.revoked.is_set():
+            raise RawCommRevoked(f"communicator {self.comm_id!r} has been revoked")
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise RawUsageError(
+                f"peer rank {rank} out of range for communicator of size {self.size}"
+            )
+        failed = self.machine.failed_snapshot()
+        if failed and self.state.members[rank] in failed:
+            raise RawProcessFailure([self.state.members[rank]])
+
+    def _next_coll_tag(self, code: int) -> int:
+        tag = collective_tag(self._coll_seq, code)
+        self._coll_seq += 1
+        return tag
+
+    # -- internal point-to-point (used by collective algorithms; uncounted) --
+
+    def _deposit(self, payload: Any, dest: int, tag: int, *, sync: bool = False,
+                 packed: bool = False) -> Envelope:
+        self._check_peer(dest)
+        clock = self.clock
+        model = self.machine.cost_model
+        nbytes = payload_nbytes(payload)
+        clock.charge_overhead()
+        if packed:
+            arrival = clock.now + model.packed_transfer_time(nbytes)
+        else:
+            arrival = clock.now + model.transfer_time(nbytes)
+        env = Envelope(
+            source=self._rank,
+            tag=tag,
+            payload=snapshot(payload),
+            nbytes=nbytes,
+            arrival_time=arrival,
+            sync_event=threading.Event() if sync else None,
+        )
+        self.state.mailboxes[dest].deposit(env)
+        return env
+
+    def _send(self, payload: Any, dest: int, tag: int, *, packed: bool = False) -> None:
+        self._deposit(payload, dest, tag, packed=packed)
+
+    def _irecv(self, source: int, tag: int) -> RecvRequest:
+        """Uncounted non-blocking receive (internal protocol machinery)."""
+        mb = self.state.mailboxes[self._rank]
+        pr = mb.post(source, tag, self.clock.now)
+        return RecvRequest(mb, pr, self.clock)
+
+    def _recv(self, source: int, tag: int) -> tuple[Any, Status]:
+        mb = self.state.mailboxes[self._rank]
+        pr = mb.post(source, tag, self.clock.now)
+        env = mb.wait(pr)
+        self.clock.wait_until(env.arrival_time)
+        self.clock.charge_overhead()
+        return env.payload, Status(env.source, env.tag, env.nbytes)
+
+    # -- point-to-point (public, counted) -----------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Standard-mode (buffered) send."""
+        self._count("send")
+        self._check_usable()
+        if dest == PROC_NULL:
+            return
+        self._send(payload, dest, validate_user_tag(tag))
+
+    def ssend(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Synchronous send: returns only once the receiver matched the message."""
+        self._count("ssend")
+        self._check_usable()
+        if dest == PROC_NULL:
+            return
+        env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
+        SyncSendRequest(env, self.clock, self.machine.deadline).wait()
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
+        """Non-blocking standard send (buffered: completes immediately)."""
+        self._count("isend")
+        self._check_usable()
+        if dest == PROC_NULL:
+            return CompletedRequest()
+        self._send(payload, dest, validate_user_tag(tag))
+        return CompletedRequest()
+
+    def issend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
+        """Non-blocking synchronous send (used by the NBX sparse exchange)."""
+        self._count("issend")
+        self._check_usable()
+        if dest == PROC_NULL:
+            return CompletedRequest()
+        env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
+        return SyncSendRequest(env, self.clock, self.machine.deadline)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
+        """Blocking receive; returns ``(payload, status)``."""
+        self._count("recv")
+        self._check_usable()
+        if source == PROC_NULL:
+            return None, Status(PROC_NULL, tag, 0)
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        return self._recv(source, validate_user_tag(tag))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Non-blocking receive."""
+        self._count("irecv")
+        self._check_usable()
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        mb = self.state.mailboxes[self._rank]
+        pr = mb.post(source, validate_user_tag(tag), self.clock.now)
+        return RecvRequest(mb, pr, self.clock)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait for a matching message without receiving it."""
+        self._count("probe")
+        self._check_usable()
+        env = self.state.mailboxes[self._rank].probe(source, validate_user_tag(tag))
+        return Status(env.source, env.tag, env.nbytes)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> tuple[bool, Optional[Status]]:
+        """Non-blocking probe."""
+        self._count("iprobe")
+        self._check_usable()
+        env = self.state.mailboxes[self._rank].iprobe(source, validate_user_tag(tag))
+        if env is None:
+            return False, None
+        return True, Status(env.source, env.tag, env.nbytes)
+
+    # -- synchronization -----------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier."""
+        self._count("barrier")
+        self._check_usable()
+        _coll.barrier(self)
+
+    def ibarrier(self) -> RawRequest:
+        """Non-blocking barrier."""
+        self._count("ibarrier")
+        self._check_usable()
+        epoch = self._ibarrier_epoch
+        self._ibarrier_epoch += 1
+        self.clock.charge_overhead()
+        ticket = self.state.barrier.arrive(epoch, self.clock.now)
+        return CounterBarrierRequest(
+            self.state.barrier, ticket, self.clock, self.machine.deadline
+        )
+
+    # -- collectives ----------------------------------------------------------
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        self._count("bcast")
+        self._check_usable()
+        return _coll.bcast(self, payload, root)
+
+    def gather(self, payload: Any, root: int = 0) -> Optional[list]:
+        self._count("gather")
+        self._check_usable()
+        return _coll.gather(self, payload, root)
+
+    def gatherv(self, sendbuf: np.ndarray, recvcounts: Optional[Sequence[int]],
+                root: int = 0) -> Optional[np.ndarray]:
+        """Variable gather.  ``recvcounts`` is required at the root (C semantics)."""
+        self._count("gatherv")
+        self._check_usable()
+        return _coll.gatherv(self, sendbuf, recvcounts, root)
+
+    def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Any:
+        self._count("scatter")
+        self._check_usable()
+        return _coll.scatter(self, payloads, root)
+
+    def scatterv(self, sendbuf: Optional[np.ndarray],
+                 sendcounts: Optional[Sequence[int]], root: int = 0) -> np.ndarray:
+        self._count("scatterv")
+        self._check_usable()
+        return _coll.scatterv(self, sendbuf, sendcounts, root)
+
+    def allgather(self, payload: Any) -> list:
+        """Allgather of one payload per rank (Bruck's algorithm: ⌈log p⌉ rounds)."""
+        self._count("allgather")
+        self._check_usable()
+        return _coll.allgather(self, payload)
+
+    def allgatherv(self, sendbuf: np.ndarray,
+                   recvcounts: Sequence[int]) -> np.ndarray:
+        """Variable allgather.  ``recvcounts`` is required on all ranks (C semantics)."""
+        self._count("allgatherv")
+        self._check_usable()
+        return _coll.allgatherv(self, sendbuf, recvcounts)
+
+    def alltoall(self, payloads: Sequence[Any]) -> list:
+        self._count("alltoall")
+        self._check_usable()
+        return _coll.alltoall(self, payloads)
+
+    def alltoallv(self, sendbuf: np.ndarray, sendcounts: Sequence[int],
+                  recvcounts: Sequence[int]) -> np.ndarray:
+        """Variable all-to-all (pairwise exchange: p−1 rounds, Θ(p) latency).
+
+        ``recvcounts`` is required (C semantics) — the boilerplate count
+        exchange this forces on users is exactly what the bindings remove.
+        """
+        self._count("alltoallv")
+        self._check_usable()
+        return _coll.alltoallv(self, sendbuf, sendcounts, recvcounts)
+
+    def alltoallw(self, send_blocks: Sequence[Any]) -> list:
+        """All-to-all with per-block derived datatypes.
+
+        Models the documented penalty of the alltoallw path (per-peer datatype
+        setup plus pack/unpack cost, paid even for empty blocks) that makes
+        MPL's v-collectives slow (paper §II, §IV-B).
+        """
+        self._count("alltoallw")
+        self._check_usable()
+        return _coll.alltoallw(self, send_blocks)
+
+    def reduce(self, value: Any, op: Op, root: int = 0) -> Any:
+        self._count("reduce")
+        self._check_usable()
+        return _coll.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op: Op) -> Any:
+        self._count("allreduce")
+        self._check_usable()
+        return _coll.allreduce(self, value, op)
+
+    def scan(self, value: Any, op: Op) -> Any:
+        """Inclusive prefix reduction."""
+        self._count("scan")
+        self._check_usable()
+        return _coll.scan(self, value, op)
+
+    def exscan(self, value: Any, op: Op) -> Any:
+        """Exclusive prefix reduction (undefined — here: identity — on rank 0)."""
+        self._count("exscan")
+        self._check_usable()
+        return _coll.exscan(self, value, op)
+
+    # -- non-blocking collectives (MPI-3) -----------------------------------------
+
+    def ibcast(self, payload: Any, root: int = 0):
+        """Non-blocking broadcast; complete with wait()/test() (``MPI_Ibcast``)."""
+        from repro.mpi import nbc
+
+        return nbc.ibcast(self, payload, root)
+
+    def iallreduce(self, value: Any, op: Op):
+        """Non-blocking allreduce (``MPI_Iallreduce``, commutative ops)."""
+        from repro.mpi import nbc
+
+        return nbc.iallreduce(self, value, op)
+
+    def iallgather(self, payload: Any):
+        """Non-blocking allgather (``MPI_Iallgather``)."""
+        from repro.mpi import nbc
+
+        return nbc.iallgather(self, payload)
+
+    # -- neighborhood collectives ----------------------------------------------
+
+    def neighbor_alltoall(self, payloads: Sequence[Any]) -> list:
+        """Exchange one payload with each topology neighbor."""
+        self._count("neighbor_alltoall")
+        self._check_usable()
+        return _coll.neighbor_alltoall(self, payloads)
+
+    def neighbor_alltoallv(self, sendbuf: np.ndarray, sendcounts: Sequence[int],
+                           recvcounts: Sequence[int]) -> np.ndarray:
+        self._count("neighbor_alltoallv")
+        self._check_usable()
+        return _coll.neighbor_alltoallv(self, sendbuf, sendcounts, recvcounts)
+
+    @property
+    def topology(self) -> Optional[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """This rank's ``(sources, destinations)`` on a dist-graph communicator."""
+        if self.state.topology is None:
+            return None
+        return self.state.topology.get(self._rank)
+
+    # -- communicator management -------------------------------------------------
+
+    def dup(self) -> "RawComm":
+        """Duplicate the communicator (collective)."""
+        self._count("comm_dup")
+        self._check_usable()
+        seq = self._mgmt_seq
+        self._mgmt_seq += 1
+        new_id = (self.comm_id, "dup", seq)
+        state = self.machine.get_or_create_comm(new_id, self.state.members)
+        _coll.barrier(self)  # dup is collective; synchronize like real MPI
+        return RawComm(self.machine, state, self.world_rank)
+
+    def split(self, color: Optional[int], key: Optional[int] = None
+              ) -> Optional["RawComm"]:
+        """Split into sub-communicators by ``color``, ordered by ``key``.
+
+        Returns ``None`` for ranks passing ``color=None`` (``MPI_UNDEFINED``).
+        """
+        self._count("comm_split")
+        self._check_usable()
+        seq = self._mgmt_seq
+        self._mgmt_seq += 1
+        entries = _coll.allgather(
+            self, (color, key if key is not None else self._rank, self._rank)
+        )
+        if color is None:
+            return None
+        group = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        members = [self.state.members[r] for _, r in group]
+        new_id = (self.comm_id, "split", seq, color)
+        state = self.machine.get_or_create_comm(new_id, members)
+        return RawComm(self.machine, state, self.world_rank)
+
+    def dist_graph_create_adjacent(
+        self, sources: Sequence[int], destinations: Sequence[int]
+    ) -> "RawComm":
+        """Create a neighborhood-topology communicator (``MPI_Dist_graph_create_adjacent``)."""
+        self._count("dist_graph_create_adjacent")
+        self._check_usable()
+        seq = self._mgmt_seq
+        self._mgmt_seq += 1
+        new_id = (self.comm_id, "graph", seq)
+        state = self.machine.get_or_create_comm(new_id, self.state.members, topology={})
+        state.topology[self._rank] = (tuple(sources), tuple(destinations))
+        # Graph creation is collective and costs at least a barrier; real
+        # implementations additionally build routing tables (Θ(α·log p)).
+        _coll.barrier(self)
+        return RawComm(self.machine, state, self.world_rank)
+
+    # -- one-sided communication ---------------------------------------------------
+
+    def win_create(self, local: np.ndarray) -> "RawWindow":
+        """Collectively create an RMA window over ``local`` (``MPI_Win_create``)."""
+        from repro.mpi.rma import RawWindow
+
+        self._count("win_create")
+        self._check_usable()
+        seq = self._mgmt_seq
+        self._mgmt_seq += 1
+        return RawWindow(self, local, (self.comm_id, "win", seq))
+
+    # -- failure handling (substrate for the ULFM plugin) -------------------------
+
+    def kill_self(self) -> None:
+        """Simulate this process dying (failure injection)."""
+        from repro.mpi.errors import ProcessKilled
+
+        raise ProcessKilled(self.world_rank)
+
+    def revoke(self) -> None:
+        """ULFM ``MPI_Comm_revoke``: mark the communicator unusable everywhere."""
+        self._count("comm_revoke")
+        self.state.revoked.set()
+
+    @property
+    def is_revoked(self) -> bool:
+        return self.state.revoked.is_set()
+
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Communicator-local ranks of members known to have failed."""
+        failed = self.machine.failed_snapshot()
+        return tuple(
+            i for i, w in enumerate(self.state.members) if w in failed
+        )
+
+    def shrink(self, generation: Hashable = 0) -> "RawComm":
+        """ULFM ``MPI_Comm_shrink``: agree on survivors, build a new communicator."""
+        self._count("comm_shrink")
+        alive = self.machine.shrink_rendezvous(self.state, generation, self.world_rank)
+        new_id = (self.comm_id, "shrink", generation, alive)
+        state = self.machine.get_or_create_comm(new_id, alive)
+        return RawComm(self.machine, state, self.world_rank)
+
+    def agree(self, flag: bool, generation: Hashable = 0) -> bool:
+        """ULFM ``MPI_Comm_agree`` (restricted to alive members): logical AND."""
+        self._count("comm_agree")
+        key = ("agree", generation)
+        alive = self.machine.shrink_rendezvous(self.state, key, self.world_rank)
+        # Exchange flags among survivors through machine-level coordination.
+        with self.machine._shrink_lock:
+            store = self.machine._shrink_results.setdefault(
+                (self.state.comm_id, key, "flags"), {}
+            )
+            store[self.world_rank] = flag
+            self.machine._shrink_lock.notify_all()
+            waited = 0.0
+            while set(store) < set(alive):
+                if not self.machine._shrink_lock.wait(timeout=0.05):
+                    waited += 0.05
+                    if waited >= self.machine.deadline:
+                        from repro.mpi.errors import RawDeadlockError
+
+                        raise RawDeadlockError("agree never completed")
+            return all(store[w] for w in alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RawComm(id={self.comm_id!r}, rank={self._rank}/{self.size})"

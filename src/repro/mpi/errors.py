@@ -1,0 +1,58 @@
+"""Error hierarchy of the raw MPI runtime.
+
+The raw layer reports errors the way C MPI reports error *classes*: one
+exception type per class.  The KaMPIng layer (:mod:`repro.core.errors`)
+re-raises these as user-facing exceptions, mirroring the paper's distinction
+between *failures* (potentially recoverable, reported via exceptions) and
+*usage errors* (caught eagerly with readable messages).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class RawMpiError(Exception):
+    """Base class for all errors raised by the raw runtime."""
+
+
+class RawUsageError(RawMpiError):
+    """An invalid argument or protocol violation by the caller."""
+
+
+class RawTruncationError(RawMpiError):
+    """A receive buffer was too small for the matched message (``MPI_ERR_TRUNCATE``)."""
+
+
+class RawDeadlockError(RawMpiError):
+    """A blocking operation exceeded the machine's deadlock deadline.
+
+    Real MPI would simply hang; the runtime converts hangs into diagnosable
+    failures so tests and benchmarks terminate.
+    """
+
+
+class RawProcessFailure(RawMpiError):
+    """A peer process involved in the operation has failed (ULFM ``MPI_ERR_PROC_FAILED``)."""
+
+    def __init__(self, failed_ranks: Iterable[int], message: str = ""):
+        self.failed_ranks = sorted(set(failed_ranks))
+        super().__init__(
+            message or f"peer process(es) failed: ranks {self.failed_ranks}"
+        )
+
+
+class RawCommRevoked(RawMpiError):
+    """The communicator has been revoked (ULFM ``MPI_ERR_REVOKED``)."""
+
+
+class ProcessKilled(BaseException):
+    """Raised inside a rank thread to simulate the process dying.
+
+    Derives from :class:`BaseException` so application-level ``except
+    Exception`` handlers cannot accidentally resurrect a dead process.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        super().__init__(f"rank {rank} killed by failure injection")

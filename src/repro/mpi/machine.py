@@ -1,0 +1,221 @@
+"""The parallel machine: rank threads, communicator registry, failure state.
+
+:func:`run_mpi` is the entry point of the raw runtime: it spawns one thread
+per rank, hands each a :class:`~repro.mpi.context.RawComm` for the world
+communicator, and collects results, virtual times, and PMPI-style call counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+from repro.mpi.costmodel import Clock, CostModel
+from repro.mpi.errors import ProcessKilled, RawDeadlockError, RawUsageError
+from repro.mpi.p2p import Mailbox
+from repro.mpi.requests import ArrivalBarrier
+
+WORLD_ID: Hashable = "world"
+
+
+class CommState:
+    """Shared (cross-thread) state of one communicator."""
+
+    def __init__(self, machine: "Machine", comm_id: Hashable,
+                 members: Sequence[int],
+                 topology: Optional[dict[int, tuple[tuple[int, ...], tuple[int, ...]]]] = None):
+        self.machine = machine
+        self.comm_id = comm_id
+        #: world ranks of the members; local rank == index
+        self.members: tuple[int, ...] = tuple(members)
+        self.local_of_world = {w: i for i, w in enumerate(self.members)}
+        self.mailboxes: dict[int, Mailbox] = {}
+        for local in range(len(self.members)):
+            mb = Mailbox(deadline_seconds=machine.deadline)
+            mb.failure_probe = machine.failed_snapshot
+            mb.source_to_world = lambda r, m=self.members: m[r] if 0 <= r < len(m) else -1
+            self.mailboxes[local] = mb
+        for mb in self.mailboxes.values():
+            mb.revoke_probe = self._is_revoked
+        self.barrier = ArrivalBarrier(len(self.members), machine.cost_model.alpha)
+        #: per-local-rank (sources, destinations) for dist-graph communicators
+        self.topology = topology
+        self.revoked = threading.Event()
+
+    def _is_revoked(self) -> bool:
+        return self.revoked.is_set()
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :func:`run_mpi` execution."""
+
+    #: per-rank return values (``None`` for ranks that died)
+    values: list[Any]
+    #: per-rank virtual clocks at completion (seconds)
+    times: list[float]
+    #: per-rank PMPI-style call counters
+    counts: list[Counter]
+    #: per-rank virtual seconds attributed to communication
+    comm_seconds: list[float]
+    #: per-rank virtual seconds attributed to local computation
+    compute_seconds: list[float]
+    #: world ranks that died during the run
+    failed: frozenset[int] = frozenset()
+    machine: Optional["Machine"] = None
+
+    @property
+    def max_time(self) -> float:
+        """Simulated makespan: the latest per-rank virtual clock."""
+        return max(self.times) if self.times else 0.0
+
+    def total_calls(self, op: str) -> int:
+        """Total number of raw calls of kind ``op`` across ranks."""
+        return sum(c.get(op, 0) for c in self.counts)
+
+
+class Machine:
+    """An in-process parallel machine with ``num_ranks`` rank threads."""
+
+    def __init__(self, num_ranks: int, cost_model: Optional[CostModel] = None,
+                 deadline: float = 120.0):
+        if num_ranks < 1:
+            raise RawUsageError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.deadline = deadline
+        self.clocks = [Clock(self.cost_model) for _ in range(num_ranks)]
+        self.profile: list[Counter] = [Counter() for _ in range(num_ranks)]
+        self._registry_lock = threading.Lock()
+        self._comms: dict[Hashable, CommState] = {}
+        self._failed: set[int] = set()
+        self._failed_lock = threading.Lock()
+        self._failed_frozen: frozenset[int] = frozenset()
+        self._shrink_lock = threading.Condition()
+        self._shrink_arrivals: dict[Hashable, set[int]] = {}
+        self._shrink_results: dict[Hashable, tuple[int, ...]] = {}
+        self.world = CommState(self, WORLD_ID, range(num_ranks))
+        self._comms[WORLD_ID] = self.world
+
+    # -- communicator registry -------------------------------------------
+
+    def get_or_create_comm(self, comm_id: Hashable, members: Sequence[int],
+                           topology=None) -> CommState:
+        """Idempotently create a communicator; all members derive the same id."""
+        with self._registry_lock:
+            state = self._comms.get(comm_id)
+            if state is None:
+                state = CommState(self, comm_id, members, topology)
+                self._comms[comm_id] = state
+            elif state.members != tuple(members):
+                raise RawUsageError(
+                    f"communicator id {comm_id!r} re-created with different members"
+                )
+            return state
+
+    # -- failures (substrate for ULFM) ------------------------------------
+
+    def mark_failed(self, world_rank: int) -> None:
+        with self._failed_lock:
+            self._failed.add(world_rank)
+            self._failed_frozen = frozenset(self._failed)
+        # wake anyone blocked on shrink rendezvous
+        with self._shrink_lock:
+            self._shrink_lock.notify_all()
+
+    def failed_snapshot(self) -> frozenset[int]:
+        return self._failed_frozen
+
+    def alive_members(self, state: CommState) -> tuple[int, ...]:
+        failed = self.failed_snapshot()
+        return tuple(w for w in state.members if w not in failed)
+
+    def shrink_rendezvous(self, state: CommState, generation: Hashable,
+                          world_rank: int) -> tuple[int, ...]:
+        """Agreement among surviving members on the set of alive ranks.
+
+        All surviving members of ``state`` call this with the same
+        ``generation`` token; every caller receives the identical sorted tuple
+        of alive world ranks.  This is machine-level coordination — exactly
+        the role the network-level ULFM agreement protocol plays on a real
+        system.
+        """
+        key = (state.comm_id, generation)
+        with self._shrink_lock:
+            self._shrink_arrivals.setdefault(key, set()).add(world_rank)
+            waited = 0.0
+            step = 0.05
+            while key not in self._shrink_results:
+                alive = set(self.alive_members(state))
+                if self._shrink_arrivals[key] >= alive:
+                    self._shrink_results[key] = tuple(sorted(alive))
+                    self._shrink_lock.notify_all()
+                    break
+                if not self._shrink_lock.wait(timeout=step):
+                    waited += step
+                    if waited >= self.deadline:
+                        raise RawDeadlockError("shrink agreement never completed")
+            return self._shrink_results[key]
+
+
+def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
+            args: Sequence[Any] = (),
+            cost_model: Optional[CostModel] = None,
+            deadline: float = 120.0) -> RunResult:
+    """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
+
+    ``fn`` receives the rank's raw world communicator
+    (:class:`~repro.mpi.context.RawComm`).  Exceptions other than injected
+    process failures are re-raised in the caller, annotated with the rank.
+    """
+    from repro.mpi.context import RawComm
+
+    machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline)
+    values: list[Any] = [None] * num_ranks
+    errors: list[Optional[BaseException]] = [None] * num_ranks
+
+    def worker(world_rank: int) -> None:
+        comm = RawComm(machine, machine.world, world_rank)
+        try:
+            values[world_rank] = fn(comm, *args)
+        except ProcessKilled:
+            machine.mark_failed(world_rank)
+        except BaseException as exc:  # noqa: BLE001 - report to the driver
+            errors[world_rank] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(num_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=deadline + 30.0)
+        if t.is_alive():
+            raise RawDeadlockError(f"{t.name} did not terminate (deadlock?)")
+
+    # Prefer primary errors: a rank dying in a collective makes its peers hit
+    # the deadlock deadline, but the root cause is the original exception.
+    def _priority(item):
+        _, exc = item
+        return 1 if isinstance(exc, RawDeadlockError) else 0
+
+    raised = [(rank, exc) for rank, exc in enumerate(errors) if exc is not None]
+    for rank, exc in sorted(raised, key=_priority):
+        raise RuntimeError(f"rank {rank} raised {type(exc).__name__}: {exc}") from exc
+
+    return RunResult(
+        values=values,
+        times=[c.now for c in machine.clocks],
+        counts=machine.profile,
+        comm_seconds=[c.comm_seconds for c in machine.clocks],
+        compute_seconds=[c.compute_seconds for c in machine.clocks],
+        failed=machine.failed_snapshot(),
+        machine=machine,
+    )

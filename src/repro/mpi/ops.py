@@ -1,0 +1,58 @@
+"""Built-in reduction operations (analogs of ``MPI_SUM`` etc.).
+
+An :class:`Op` pairs an elementwise combiner with metadata the runtime and
+the bindings use: commutativity (non-commutative user ops constrain the
+reduction algorithms) and an optional identity element (needed by exscan and
+by tree reductions over uneven rank counts).
+
+The KaMPIng layer additionally maps STL-style functor objects and plain
+Python callables onto these built-ins (see :mod:`repro.core.named_params`),
+mirroring the paper's ``std::plus<> -> MPI_SUM`` mapping that lets the
+"implementation" pick optimized code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operation usable by reduce/allreduce/scan/exscan."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    commutative: bool = True
+    identity: Optional[Any] = None
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self.name})"
+
+
+SUM = Op("sum", np.add, identity=0)
+PROD = Op("prod", np.multiply, identity=1)
+MAX = Op("max", np.maximum)
+MIN = Op("min", np.minimum)
+LAND = Op("land", np.logical_and, identity=True)
+LOR = Op("lor", np.logical_or, identity=False)
+LXOR = Op("lxor", np.logical_xor, identity=False)
+BAND = Op("band", np.bitwise_and)
+BOR = Op("bor", np.bitwise_or, identity=0)
+BXOR = Op("bxor", np.bitwise_xor, identity=0)
+
+BUILTIN_OPS = {
+    op.name: op
+    for op in (SUM, PROD, MAX, MIN, LAND, LOR, LXOR, BAND, BOR, BXOR)
+}
+
+
+def user_op(fn: Callable[[Any, Any], Any], *, commutative: bool = True,
+            name: str = "user", identity: Optional[Any] = None) -> Op:
+    """Wrap a user-provided binary function (the "reduction via lambda" feature)."""
+    return Op(name=name, fn=fn, commutative=commutative, identity=identity)

@@ -1,0 +1,224 @@
+"""Point-to-point matching engine.
+
+Implements the classic MPI receive-side model: each (communicator, rank) pair
+owns a :class:`Mailbox` with a *posted-receive queue* and an *unexpected
+message queue*.  Incoming envelopes first try to match the oldest compatible
+posted receive; receives first try to match the oldest compatible unexpected
+envelope.  This preserves MPI's non-overtaking guarantee: messages from the
+same sender with compatible tags are matched in send order.
+
+Synchronous sends (``ssend``/``issend``) carry a match event; the sender only
+completes once the receiver has matched the message, which is what the NBX
+sparse all-to-all algorithm (plugins) relies on for its termination protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.errors import RawDeadlockError, RawProcessFailure
+
+_envelope_ids = itertools.count()
+
+
+@dataclass
+class Status:
+    """Receive status (analog of ``MPI_Status``)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def count(self, itemsize: int = 1) -> int:
+        """Number of items of ``itemsize`` bytes in the message (``MPI_Get_count``)."""
+        return self.nbytes // max(itemsize, 1)
+
+
+@dataclass
+class Envelope:
+    """A message in flight."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    #: virtual time at which the message is available at the receiver
+    arrival_time: float
+    #: set when a synchronous sender must learn about the match
+    sync_event: Optional[threading.Event] = None
+    #: receiver-side clock at match time (read by synchronous senders)
+    match_clock: float = 0.0
+    seq: int = field(default_factory=lambda: next(_envelope_ids))
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class PendingRecv:
+    """A posted receive waiting for a matching envelope."""
+
+    __slots__ = ("source", "tag", "post_clock", "envelope", "event", "cancelled")
+
+    def __init__(self, source: int, tag: int, post_clock: float):
+        self.source = source
+        self.tag = tag
+        self.post_clock = post_clock
+        self.envelope: Optional[Envelope] = None
+        self.event = threading.Event()
+        self.cancelled = False
+
+    def complete(self, env: Envelope) -> None:
+        self.envelope = env
+        if env.sync_event is not None:
+            env.match_clock = max(env.arrival_time, self.post_clock)
+            env.sync_event.set()
+        self.event.set()
+
+
+class Mailbox:
+    """Matching queues for one (communicator, rank) endpoint."""
+
+    def __init__(self, deadline_seconds: float = 120.0):
+        self._cond = threading.Condition()
+        self._posted: list[PendingRecv] = []
+        self._unexpected: list[Envelope] = []
+        self._deadline = deadline_seconds
+        #: callable returning the set of currently-failed peer world ranks
+        self.failure_probe: Callable[[], frozenset[int]] = frozenset
+        #: maps communicator-local source ranks to world ranks for failure checks
+        self.source_to_world: Callable[[int], int] = lambda r: r
+        #: callable reporting whether the owning communicator was revoked;
+        #: blocked operations on a revoked communicator abort (ULFM semantics)
+        self.revoke_probe: Callable[[], bool] = lambda: False
+
+    # -- sending ----------------------------------------------------------
+
+    def deposit(self, env: Envelope) -> None:
+        """Deliver an envelope, matching a posted receive if one is waiting."""
+        with self._cond:
+            for i, pr in enumerate(self._posted):
+                if pr_matches(pr, env):
+                    del self._posted[i]
+                    pr.complete(env)
+                    self._cond.notify_all()
+                    return
+            self._unexpected.append(env)
+            self._cond.notify_all()
+
+    # -- receiving --------------------------------------------------------
+
+    def post(self, source: int, tag: int, post_clock: float) -> PendingRecv:
+        """Post a receive; matches an unexpected envelope immediately if present."""
+        pr = PendingRecv(source, tag, post_clock)
+        with self._cond:
+            for i, env in enumerate(self._unexpected):
+                if env.matches(source, tag):
+                    del self._unexpected[i]
+                    pr.complete(env)
+                    return pr
+            self._posted.append(pr)
+        return pr
+
+    def wait(self, pr: PendingRecv) -> Envelope:
+        """Block until the posted receive completes.
+
+        Raises :class:`RawProcessFailure` if the awaited source dies while the
+        receive is pending, and :class:`RawDeadlockError` if the machine's
+        deadlock deadline elapses.
+        """
+        waited = 0.0
+        step = 0.05
+        while not pr.event.wait(timeout=step):
+            waited += step
+            if self.revoke_probe():
+                from repro.mpi.errors import RawCommRevoked
+
+                self.cancel(pr)
+                raise RawCommRevoked("communicator revoked while receive pending")
+            failed = self.failure_probe()
+            if failed and self._source_failed(pr, failed):
+                self.cancel(pr)
+                raise RawProcessFailure(failed)
+            if waited >= self._deadline:
+                self.cancel(pr)
+                raise RawDeadlockError(
+                    f"recv(source={pr.source}, tag={pr.tag}) exceeded the "
+                    f"{self._deadline:.0f}s deadlock deadline"
+                )
+        assert pr.envelope is not None
+        return pr.envelope
+
+    def _source_failed(self, pr: PendingRecv, failed: frozenset[int]) -> bool:
+        if pr.source == ANY_SOURCE:
+            return True  # any failure may leave a wildcard recv stuck: report it
+        return self.source_to_world(pr.source) in failed
+
+    def cancel(self, pr: PendingRecv) -> None:
+        """Remove a posted receive that will never be satisfied."""
+        with self._cond:
+            pr.cancelled = True
+            try:
+                self._posted.remove(pr)
+            except ValueError:
+                pass
+
+    def test(self, pr: PendingRecv) -> Optional[Envelope]:
+        """Non-blocking completion check for a posted receive."""
+        if pr.event.is_set():
+            return pr.envelope
+        return None
+
+    # -- probing ----------------------------------------------------------
+
+    def iprobe(self, source: int, tag: int) -> Optional[Envelope]:
+        """Check for a matching unexpected message without consuming it."""
+        with self._cond:
+            for env in self._unexpected:
+                if env.matches(source, tag):
+                    return env
+        return None
+
+    def probe(self, source: int, tag: int) -> Envelope:
+        """Block until a matching message is available; do not consume it."""
+        waited = 0.0
+        step = 0.05
+        while True:
+            with self._cond:
+                for env in self._unexpected:
+                    if env.matches(source, tag):
+                        return env
+                notified = self._cond.wait(timeout=step)
+            if not notified:
+                waited += step
+                if self.revoke_probe():
+                    from repro.mpi.errors import RawCommRevoked
+
+                    raise RawCommRevoked("communicator revoked while probing")
+                failed = self.failure_probe()
+                if failed and (
+                    source == ANY_SOURCE or self.source_to_world(source) in failed
+                ):
+                    raise RawProcessFailure(failed)
+                if waited >= self._deadline:
+                    raise RawDeadlockError(
+                        f"probe(source={source}, tag={tag}) exceeded the "
+                        f"{self._deadline:.0f}s deadlock deadline"
+                    )
+
+    def pending_count(self) -> int:
+        """Number of queued unexpected messages (diagnostics only)."""
+        with self._cond:
+            return len(self._unexpected)
+
+
+def pr_matches(pr: PendingRecv, env: Envelope) -> bool:
+    """Does envelope ``env`` satisfy posted receive ``pr``?"""
+    return (pr.source == ANY_SOURCE or pr.source == env.source) and (
+        pr.tag == ANY_TAG or pr.tag == env.tag
+    )

@@ -1,0 +1,53 @@
+"""PMPI-style profiling helpers.
+
+The paper validates its "only the expected MPI calls are issued" property
+through MPI's profiling interface (Section III-H).  The runtime counts every
+public :class:`~repro.mpi.context.RawComm` call per rank; this module offers
+the assertion helpers tests use on top of those counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.mpi.context import RawComm
+
+
+@contextmanager
+def expect_calls(comm: RawComm, **expected: int) -> Iterator[None]:
+    """Assert that the wrapped block issues exactly the given raw MPI calls.
+
+    Example::
+
+        with expect_calls(raw, allgather=1, allgatherv=1):
+            kamping_comm.allgatherv(send_buf(v))   # count inference + exchange
+
+    Any raw call kind not listed must not occur at all.
+    """
+    before = Counter(comm.machine.profile[comm.world_rank])
+    yield
+    after = Counter(comm.machine.profile[comm.world_rank])
+    delta = after - before
+    problems = []
+    for op, n in expected.items():
+        if delta.get(op, 0) != n:
+            problems.append(f"expected {n} × {op}, saw {delta.get(op, 0)}")
+    for op, n in delta.items():
+        if op not in expected:
+            problems.append(f"unexpected raw call: {n} × {op}")
+    if problems:
+        raise AssertionError(
+            "raw MPI call profile mismatch: " + "; ".join(sorted(problems))
+        )
+
+
+def call_delta(comm: RawComm, before: Counter) -> Counter:
+    """Difference between the rank's current counters and a snapshot."""
+    return Counter(comm.machine.profile[comm.world_rank]) - before
+
+
+def snapshot(comm: RawComm) -> Counter:
+    """Snapshot the rank's call counters."""
+    return Counter(comm.machine.profile[comm.world_rank])

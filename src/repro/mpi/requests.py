@@ -1,0 +1,223 @@
+"""Raw non-blocking requests (analog of ``MPI_Request``).
+
+These are the *unsafe* requests the C API hands out: they do not protect the
+buffers involved.  The KaMPIng layer (:mod:`repro.core.nonblocking`) wraps
+them into ownership-tracking non-blocking results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.mpi.costmodel import Clock
+from repro.mpi.errors import RawDeadlockError
+from repro.mpi.p2p import Envelope, Mailbox, PendingRecv, Status
+
+
+class RawRequest:
+    """Base class for raw requests."""
+
+    def wait(self) -> Any:
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Return ``(done, value)``; ``value`` is only meaningful when done."""
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> bool:
+        done, _ = self.test()
+        return done
+
+
+class CompletedRequest(RawRequest):
+    """A request that completed at initiation time (buffered sends)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any = None):
+        self._value = value
+
+    def wait(self) -> Any:
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        return True, self._value
+
+
+class SyncSendRequest(RawRequest):
+    """Request for ``issend``: completes once the receiver matched the message."""
+
+    def __init__(self, env: Envelope, clock: Clock, deadline: float = 120.0):
+        assert env.sync_event is not None
+        self._env = env
+        self._clock = clock
+        self._deadline = deadline
+        self._done = False
+
+    def wait(self) -> None:
+        waited = 0.0
+        step = 0.05
+        while not self._env.sync_event.wait(timeout=step):
+            waited += step
+            if waited >= self._deadline:
+                raise RawDeadlockError("issend never matched a receive")
+        self._finish()
+
+    def test(self) -> tuple[bool, Any]:
+        if self._env.sync_event.is_set():
+            self._finish()
+            return True, None
+        return False, None
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._clock.wait_until(self._env.match_clock)
+            self._done = True
+
+
+class RecvRequest(RawRequest):
+    """Request for ``irecv``."""
+
+    def __init__(self, mailbox: Mailbox, pr: PendingRecv, clock: Clock):
+        self._mailbox = mailbox
+        self._pr = pr
+        self._clock = clock
+        self._result: Optional[tuple[Any, Status]] = None
+
+    def wait(self) -> tuple[Any, Status]:
+        if self._result is None:
+            env = self._mailbox.wait(self._pr)
+            self._result = self._consume(env)
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        if self._result is not None:
+            return True, self._result
+        env = self._mailbox.test(self._pr)
+        if env is None:
+            return False, None
+        self._result = self._consume(env)
+        return True, self._result
+
+    def cancel(self) -> None:
+        """Cancel the posted receive (analog of ``MPI_Cancel``)."""
+        self._mailbox.cancel(self._pr)
+
+    def _consume(self, env: Envelope) -> tuple[Any, Status]:
+        self._clock.wait_until(env.arrival_time)
+        self._clock.charge_overhead()
+        return env.payload, Status(source=env.source, tag=env.tag, nbytes=env.nbytes)
+
+
+class CounterBarrierRequest(RawRequest):
+    """Request for ``ibarrier``, backed by a machine-level arrival counter."""
+
+    def __init__(self, barrier: "ArrivalBarrier", ticket: int, clock: Clock,
+                 deadline: float = 120.0):
+        self._barrier = barrier
+        self._ticket = ticket
+        self._clock = clock
+        self._deadline = deadline
+        self._done = False
+
+    def wait(self) -> None:
+        self._barrier.wait_complete(self._ticket, self._deadline)
+        self._finish()
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, None
+        if self._barrier.is_complete(self._ticket):
+            self._finish()
+            return True, None
+        return False, None
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._clock.wait_until(self._barrier.completion_time(self._ticket))
+            self._clock.charge_overhead()
+            self._done = True
+
+
+class ArrivalBarrier:
+    """Shared state for non-blocking barriers on one communicator.
+
+    Each barrier *epoch* completes when all ``size`` members have arrived.
+    Completion time in virtual time is the latest arrival clock plus a
+    logarithmic dissemination term.
+    """
+
+    def __init__(self, size: int, alpha: float):
+        self._size = size
+        self._alpha = alpha
+        self._cond = threading.Condition()
+        self._arrivals: dict[int, int] = {}
+        self._max_clock: dict[int, float] = {}
+        self._complete_time: dict[int, float] = {}
+
+    def arrive(self, epoch: int, clock_now: float) -> int:
+        """Record arrival in ``epoch``; returns the epoch as the wait ticket."""
+        with self._cond:
+            n = self._arrivals.get(epoch, 0) + 1
+            self._arrivals[epoch] = n
+            self._max_clock[epoch] = max(self._max_clock.get(epoch, 0.0), clock_now)
+            if n == self._size:
+                rounds = max((self._size - 1).bit_length(), 1)
+                self._complete_time[epoch] = (
+                    self._max_clock[epoch] + rounds * self._alpha
+                )
+                self._cond.notify_all()
+            return epoch
+
+    def is_complete(self, epoch: int) -> bool:
+        with self._cond:
+            return epoch in self._complete_time
+
+    def completion_time(self, epoch: int) -> float:
+        with self._cond:
+            return self._complete_time[epoch]
+
+    def wait_complete(self, epoch: int, deadline: float) -> None:
+        waited = 0.0
+        step = 0.05
+        with self._cond:
+            while epoch not in self._complete_time:
+                if not self._cond.wait(timeout=step):
+                    waited += step
+                    if waited >= deadline:
+                        raise RawDeadlockError("ibarrier never completed")
+
+
+def waitall(requests: Sequence[RawRequest]) -> list[Any]:
+    """Complete all requests, returning their values in order (``MPI_Waitall``)."""
+    return [r.wait() for r in requests]
+
+
+def testall(requests: Sequence[RawRequest]) -> tuple[bool, Optional[list[Any]]]:
+    """``MPI_Testall``: all-or-nothing completion check."""
+    results = []
+    for r in requests:
+        done, value = r.test()
+        if not done:
+            return False, None
+        results.append(value)
+    return True, results
+
+
+def waitany(requests: Sequence[RawRequest], poll_interval: float = 0.001,
+            deadline: float = 120.0) -> tuple[int, Any]:
+    """Complete one request, returning ``(index, value)`` (``MPI_Waitany``)."""
+    import time
+
+    waited = 0.0
+    while True:
+        for i, r in enumerate(requests):
+            done, value = r.test()
+            if done:
+                return i, value
+        time.sleep(poll_interval)
+        waited += poll_interval
+        if waited >= deadline:
+            raise RawDeadlockError("waitany exceeded the deadlock deadline")

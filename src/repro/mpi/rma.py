@@ -1,0 +1,203 @@
+"""One-sided communication (RMA): windows, put/get/accumulate, epochs.
+
+The paper's conclusion plans to "extend the standard coverage"; one-sided
+communication is the largest MPI chapter the core bindings do not cover yet
+(boost-mpi3 supports it, §II).  This module is the raw substrate:
+
+- :class:`RawWindow` — collective creation over one local array per rank;
+- ``put`` / ``get`` / ``accumulate`` — direct access to a target rank's
+  window memory *without involving the target's CPU* (the target's virtual
+  clock does not advance; only the origin pays α + n·β);
+- **fence** epochs (``MPI_Win_fence``): operations issued between two fences
+  are globally visible after the closing fence;
+- **passive target** locks (``MPI_Win_lock``/``unlock``) with shared or
+  exclusive mode, serializing access per target.
+
+Atomicity: ``accumulate`` is elementwise-atomic per target (as the standard
+requires), implemented with one mutex per (window, target) pair.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ops import Op, SUM
+
+
+class _WindowState:
+    """Machine-shared state of one window."""
+
+    def __init__(self, comm_size: int):
+        self.arrays: dict[int, np.ndarray] = {}
+        self.locks: dict[int, threading.RLock] = {
+            r: threading.RLock() for r in range(comm_size)
+        }
+        #: shared/exclusive passive-target lock bookkeeping
+        self.lock_cond = threading.Condition()
+        self.exclusive_holder: dict[int, Optional[int]] = {
+            r: None for r in range(comm_size)
+        }
+        self.shared_count: dict[int, int] = {r: 0 for r in range(comm_size)}
+
+
+class RawWindow:
+    """One rank's handle of a collectively-created RMA window."""
+
+    def __init__(self, comm, local: np.ndarray, win_id: Hashable):
+        self.comm = comm
+        if not isinstance(local, np.ndarray) or local.ndim != 1:
+            raise RawUsageError("window memory must be a 1-D NumPy array")
+        self.local = local
+        machine = comm.machine
+        registry = getattr(machine, "_rma_windows", None)
+        if registry is None:
+            registry = machine._rma_windows = {}
+            machine._rma_lock = threading.Lock()
+        with machine._rma_lock:
+            state = registry.get(win_id)
+            if state is None:
+                state = registry[win_id] = _WindowState(comm.size)
+        state.arrays[comm.rank] = local
+        self._state = state
+        comm.barrier()  # window creation is collective
+
+    # -- epoch management ----------------------------------------------------
+
+    def fence(self) -> None:
+        """Close the current epoch: all issued operations become visible.
+
+        Operations apply eagerly in this runtime, so the fence reduces to the
+        synchronization (a barrier), which is the visibility guarantee the
+        standard gives.
+        """
+        self.comm._count("win_fence")
+        from repro.mpi import collectives
+
+        collectives.barrier(self.comm)
+
+    # -- passive target locks ----------------------------------------------------
+
+    def lock(self, target: int, exclusive: bool = True) -> None:
+        """``MPI_Win_lock``: begin a passive-target access epoch."""
+        self.comm._count("win_lock")
+        me = self.comm.rank
+        st = self._state
+        with st.lock_cond:
+            if exclusive:
+                while (st.exclusive_holder[target] is not None
+                       or st.shared_count[target] > 0):
+                    st.lock_cond.wait(timeout=0.05)
+                st.exclusive_holder[target] = me
+            else:
+                while st.exclusive_holder[target] is not None:
+                    st.lock_cond.wait(timeout=0.05)
+                st.shared_count[target] += 1
+
+    def unlock(self, target: int) -> None:
+        """``MPI_Win_unlock``: end the passive-target epoch."""
+        self.comm._count("win_unlock")
+        me = self.comm.rank
+        st = self._state
+        with st.lock_cond:
+            if st.exclusive_holder[target] == me:
+                st.exclusive_holder[target] = None
+            elif st.shared_count[target] > 0:
+                st.shared_count[target] -= 1
+            else:
+                raise RawUsageError(f"unlock({target}) without a matching lock")
+            st.lock_cond.notify_all()
+
+    # -- one-sided data movement ------------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        clock = self.comm.clock
+        model = self.comm.machine.cost_model
+        clock.charge_overhead()
+        clock.wait_until(clock.now + model.transfer_time(nbytes))
+
+    def _target_array(self, target: int) -> np.ndarray:
+        arr = self._state.arrays.get(target)
+        if arr is None:
+            raise RawUsageError(f"rank {target} exposes no window memory")
+        return arr
+
+    def put(self, data: np.ndarray, target: int, offset: int = 0) -> None:
+        """Write ``data`` into the target's window at ``offset``."""
+        self.comm._count("win_put")
+        data = np.asarray(data)
+        arr = self._target_array(target)
+        if offset < 0 or offset + len(data) > len(arr):
+            raise RawUsageError(
+                f"put of {len(data)} elements at offset {offset} exceeds the "
+                f"target window of size {len(arr)}"
+            )
+        with self._state.locks[target]:
+            arr[offset: offset + len(data)] = data
+        self._charge(data.nbytes)
+
+    def get(self, target: int, offset: int = 0,
+            count: Optional[int] = None) -> np.ndarray:
+        """Read ``count`` elements from the target's window at ``offset``."""
+        self.comm._count("win_get")
+        arr = self._target_array(target)
+        count = len(arr) - offset if count is None else count
+        if offset < 0 or offset + count > len(arr):
+            raise RawUsageError(
+                f"get of {count} elements at offset {offset} exceeds the "
+                f"target window of size {len(arr)}"
+            )
+        with self._state.locks[target]:
+            out = arr[offset: offset + count].copy()
+        self._charge(out.nbytes)
+        return out
+
+    def accumulate(self, data: np.ndarray, target: int, offset: int = 0,
+                   op: Op = SUM) -> None:
+        """Elementwise-atomic remote update (``MPI_Accumulate``)."""
+        self.comm._count("win_accumulate")
+        data = np.asarray(data)
+        arr = self._target_array(target)
+        if offset < 0 or offset + len(data) > len(arr):
+            raise RawUsageError(
+                f"accumulate of {len(data)} elements at offset {offset} "
+                f"exceeds the target window of size {len(arr)}"
+            )
+        with self._state.locks[target]:
+            arr[offset: offset + len(data)] = op(
+                arr[offset: offset + len(data)], data
+            )
+        self._charge(data.nbytes)
+
+    def fetch_and_op(self, value: Any, target: int, offset: int,
+                     op: Op = SUM) -> Any:
+        """Atomic read-modify-write of one element (``MPI_Fetch_and_op``)."""
+        self.comm._count("win_fetch_and_op")
+        arr = self._target_array(target)
+        with self._state.locks[target]:
+            old = arr[offset].item()
+            arr[offset] = op(arr[offset], value)
+        self._charge(int(arr.itemsize))
+        return old
+
+    def compare_and_swap(self, value: Any, compare: Any, target: int,
+                         offset: int) -> Any:
+        """Atomic CAS of one element (``MPI_Compare_and_swap``)."""
+        self.comm._count("win_compare_and_swap")
+        arr = self._target_array(target)
+        with self._state.locks[target]:
+            old = arr[offset].item()
+            if old == compare:
+                arr[offset] = value
+        self._charge(int(arr.itemsize))
+        return old
+
+    def free(self) -> None:
+        """Collectively release the window (``MPI_Win_free``)."""
+        self.comm._count("win_free")
+        from repro.mpi import collectives
+
+        collectives.barrier(self.comm)

@@ -1,0 +1,30 @@
+"""``repro.perf`` — analytic large-scale performance evaluation.
+
+The executing simulator (threads as ranks) runs comfortably up to ~64 ranks;
+the paper's figures go to 256 nodes × 48 cores (Fig. 8) and 2^14 ranks
+(Fig. 10).  This package evaluates the same algorithms *analytically* under
+the identical :class:`~repro.mpi.costmodel.CostModel`:
+
+- :mod:`repro.perf.families` — per-BFS-level workload statistics for the
+  GNM / RGG-2D / RHG generators, with parameters calibrated against
+  measurements of the real generators (see ``tests/perf``);
+- :mod:`repro.perf.strategies` — per-exchange-strategy cost formulas
+  mirroring the simulator's collective algorithms;
+- :mod:`repro.perf.samplesort_model` — the Fig. 8 sample-sort model for all
+  five bindings;
+- :mod:`repro.perf.sweep` — the weak-scaling sweep drivers the benchmarks
+  use, which splice executing-simulator measurements (small p) and the
+  analytic model (large p) into one series.
+"""
+
+from repro.perf.families import BfsWorkload, LevelStats, bfs_workload
+from repro.perf.samplesort_model import samplesort_time
+from repro.perf.strategies import bfs_time, exchange_cost
+from repro.perf.sweep import bfs_sweep, samplesort_sweep
+
+__all__ = [
+    "LevelStats", "BfsWorkload", "bfs_workload",
+    "exchange_cost", "bfs_time",
+    "samplesort_time",
+    "bfs_sweep", "samplesort_sweep",
+]

@@ -1,0 +1,64 @@
+"""Analytic Fig. 8 model: sample-sort time per binding at any scale.
+
+Mirrors the implementations in :mod:`repro.apps.sorting.sample_sort` term by
+term: local sorts and the bucketing pass (the calibrated constants of
+``apps.sorting.common``), sample allgather (Bruck), the count exchange, and
+the data exchange — direct pairwise ``alltoallv`` for MPI / RWTH / KaMPIng,
+implicitly-serialized ``alltoall`` for Boost.MPI, and the derived-datatype
+``alltoallw`` path for MPL (the documented source of its overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sorting.common import (
+    PASS_COST_PER_ITEM,
+    SORT_COST_PER_ITEM,
+    num_samples_for,
+)
+from repro.mpi.costmodel import CostModel
+
+_ELEM_BYTES = 8
+
+BINDINGS = ("MPI", "Boost.MPI", "RWTH-MPI", "MPL", "KaMPIng")
+
+
+def _log2(p: int) -> float:
+    return float(max(p - 1, 1).bit_length())
+
+
+def _sort_time(n: float) -> float:
+    return SORT_COST_PER_ITEM * n * max(np.log2(max(n, 2.0)), 1.0) if n > 1 else 0.0
+
+
+def samplesort_time(binding: str, p: int, n_per_rank: int,
+                    cm: CostModel) -> float:
+    """Simulated sample-sort makespan for one binding at (p, n/rank)."""
+    n = float(n_per_rank)
+    s = num_samples_for(p)
+    t = 0.0
+
+    # sample allgather (Bruck: log p rounds, (p−1)·s bytes) + sample sort
+    t += _log2(p) * (cm.alpha + 2 * cm.overhead) + (p - 1) * s * _ELEM_BYTES * cm.beta
+    t += _sort_time(p * s)
+    # bucketing pass
+    t += PASS_COST_PER_ITEM * n
+
+    nbytes = n * _ELEM_BYTES
+    if binding == "MPL":
+        # counts alltoall + alltoallw data path (per-peer datatype penalty,
+        # pack/unpack per byte)
+        t += (p - 1) * (cm.alpha + 2 * cm.overhead)
+        t += (p - 1) * (cm.alpha + cm.dtype_alpha + 2 * cm.overhead) \
+            + nbytes * (cm.beta + cm.pack_beta)
+    elif binding == "Boost.MPI":
+        # alltoall of serialized vectors: pickle both ways + transfer
+        t += (p - 1) * (cm.alpha + 2 * cm.overhead) + nbytes * cm.beta
+        t += 2.0 * nbytes * cm.ser_beta
+    else:  # MPI, RWTH-MPI, KaMPIng: counts alltoall + pairwise alltoallv
+        t += 2.0 * (p - 1) * (cm.alpha + 2 * cm.overhead) + nbytes * cm.beta
+
+    # initial local sort of the received data
+    t += _sort_time(n)
+    return t

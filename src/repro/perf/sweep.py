@@ -1,0 +1,109 @@
+"""Weak-scaling sweep drivers shared by the Fig. 8 and Fig. 10 benchmarks.
+
+A sweep point either *executes* on the threaded simulator (small ``p``) or
+*evaluates* the analytic model (large ``p``); the benchmarks splice both
+into one series and report which regime produced each point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.graphs.bfs import bfs
+from repro.apps.graphs.generators import (
+    generate_gnm,
+    generate_rgg2d,
+    generate_rhg,
+    symmetrize,
+)
+from repro.apps.sorting.sample_sort import SAMPLE_SORT_IMPLS
+from repro.core import Communicator, extend, run
+from repro.mpi.costmodel import CostModel
+from repro.perf.families import bfs_workload
+from repro.perf.samplesort_model import samplesort_time
+from repro.perf.strategies import bfs_time
+from repro.plugins.grid_alltoall import GridAlltoall
+from repro.plugins.sparse_alltoall import SparseAlltoall
+
+#: largest rank count run on the executing (threaded) simulator
+SIMULATOR_MAX_P = 16
+
+
+@dataclass
+class SweepPoint:
+    p: int
+    seconds: float
+    #: "simulated" (executing runtime, virtual clock) or "model" (analytic)
+    source: str
+
+
+def samplesort_sweep(binding: str, ps: Sequence[int], n_per_rank: int,
+                     cost_model: Optional[CostModel] = None,
+                     simulator_max_p: int = SIMULATOR_MAX_P
+                     ) -> list[SweepPoint]:
+    """Fig. 8 series for one binding: simulate small p, model large p."""
+    cm = cost_model if cost_model is not None else CostModel()
+    impl, wrap = SAMPLE_SORT_IMPLS[binding]
+    points = []
+    for p in ps:
+        if p <= simulator_max_p:
+            def entry(comm):
+                rng = np.random.default_rng(comm.rank)
+                data = rng.integers(0, 2**62, size=n_per_rank, dtype=np.int64)
+                impl(wrap(comm.raw) if binding != "KaMPIng" else comm, data)
+                return None
+
+            result = run(entry, p, cost_model=cm)
+            points.append(SweepPoint(p, result.max_time, "simulated"))
+        else:
+            points.append(
+                SweepPoint(p, samplesort_time(binding, p, n_per_rank, cm),
+                           "model")
+            )
+    return points
+
+
+_GENERATORS = {
+    "gnm": lambda n_per, deg, p, r, seed: generate_gnm(
+        n_per, int(n_per * deg / 2), p, r, seed),
+    "rgg": generate_rgg2d,
+    "rhg": generate_rhg,
+}
+
+
+def bfs_sweep(family: str, strategy: str, ps: Sequence[int],
+              n_per_rank: int = 256, avg_degree: float = 8.0,
+              cost_model: Optional[CostModel] = None,
+              simulator_max_p: int = SIMULATOR_MAX_P,
+              model_n_per_rank: int = 4096,
+              model_avg_degree: float = 16.0) -> list[SweepPoint]:
+    """Fig. 10 series for one (family, strategy) pair.
+
+    Executing-simulator points use a scaled-down graph (``n_per_rank``); the
+    analytic model evaluates the paper's full per-rank workload (2^12
+    vertices, 2^15 edges ⇒ degree 16).
+    """
+    cm = cost_model if cost_model is not None else CostModel()
+    Comm = extend(Communicator, GridAlltoall, SparseAlltoall)
+    points = []
+    for p in ps:
+        if p <= simulator_max_p:
+            def entry(comm):
+                g = _GENERATORS[family](n_per_rank, avg_degree, p,
+                                        comm.rank, 7)
+                if family == "gnm":
+                    g = symmetrize(comm, g)
+                bfs(g, 0, comm, strategy=strategy)
+                return None
+
+            result = run(entry, p, cost_model=cm, comm_class=Comm)
+            points.append(SweepPoint(p, result.max_time, "simulated"))
+        else:
+            workload = bfs_workload(family, p, model_n_per_rank,
+                                    model_avg_degree)
+            points.append(SweepPoint(p, bfs_time(strategy, workload, cm),
+                                     "model"))
+    return points

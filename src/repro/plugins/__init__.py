@@ -1,0 +1,35 @@
+"""``repro.plugins`` — the library extensions shipped with KaMPIng (paper §V).
+
+Compose plugins onto the core communicator with
+:func:`repro.core.plugins.extend`::
+
+    from repro.core import Communicator, extend
+    from repro.plugins import GridAlltoall, SparseAlltoall
+
+    Comm = extend(Communicator, GridAlltoall, SparseAlltoall)
+"""
+
+from repro.plugins.grid_alltoall import GridAlltoall, grid_dims
+from repro.plugins.hierarchical_alltoall import (
+    HierarchicalAlltoall,
+    balanced_dims,
+    coords_to_rank,
+    rank_to_coords,
+)
+from repro.plugins.reproducible_reduce import (
+    ReproducibleReduce,
+    local_segments,
+    merge_segments,
+)
+from repro.plugins.sorter import DistributedSorter
+from repro.plugins.sparse_alltoall import SparseAlltoall
+from repro.plugins.ulfm import MPIFailureDetected, MPIRevokedError, ULFM
+
+__all__ = [
+    "GridAlltoall", "grid_dims",
+    "HierarchicalAlltoall", "balanced_dims", "rank_to_coords", "coords_to_rank",
+    "SparseAlltoall",
+    "ULFM", "MPIFailureDetected", "MPIRevokedError",
+    "ReproducibleReduce", "local_segments", "merge_segments",
+    "DistributedSorter",
+]

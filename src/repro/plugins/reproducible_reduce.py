@@ -1,0 +1,147 @@
+"""Reproducible reduce plugin (paper §V-C, Fig. 13).
+
+IEEE-754 addition is not associative; a reduction whose combine order depends
+on the number of ranks produces different results on different machine
+configurations.  This plugin fixes the reduction order to a **binary tree
+over global element indices** — completely independent of how the elements
+are distributed over ranks — while still reducing in parallel and exchanging
+only O(log n) partial results per rank (far less than the
+gather + local-reduce + broadcast baseline, which ships *all* elements).
+
+Scheme (after Villa et al. / Stelz):
+
+1. Every rank decomposes its contiguous global index range into maximal
+   *aligned* subtrees of the canonical binary tree over ``[0, n)`` and folds
+   each subtree locally, in canonical order.
+2. A binomial tree over ranks merges adjacent partial-subtree stacks; merging
+   combines two sibling subtrees ``(level, 2i)`` and ``(level, 2i+1)`` into
+   their parent ``(level+1, i)`` — exactly the combine the canonical tree
+   performs.
+3. Rank 0 folds the surviving (canonical) stack left-to-right and broadcasts.
+
+The result is bit-identical for every rank count and distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.errors import UsageError
+from repro.core.named_params import op as op_param
+from repro.core.named_params import send_buf, send_recv_buf
+from repro.core.plugins import CommunicatorPlugin, plugin_method
+from repro.mpi.ops import SUM, Op
+
+#: a stack entry: (level, index-within-level, value)
+Segment = tuple[int, int, Any]
+
+
+def local_segments(start: int, values: np.ndarray, op: Op) -> list[Segment]:
+    """Decompose ``[start, start+len)`` into maximal aligned subtrees.
+
+    Subtree ``(level, i)`` covers ``[i·2^level, (i+1)·2^level)``.  The
+    returned segments are in ascending index order and each value is the
+    canonical-order fold of its leaves.
+    """
+    segments: list[Segment] = []
+    pos = 0
+    n = len(values)
+    while pos < n:
+        g = start + pos
+        # largest aligned power-of-two block starting at g that fits
+        max_align = g & -g if g else 1 << 62
+        size = 1
+        while size * 2 <= max_align and pos + size * 2 <= n:
+            size *= 2
+        level = size.bit_length() - 1
+        value = _tree_fold(values[pos: pos + size], op)
+        segments.append((level, g >> level, value))
+        pos += size
+    return segments
+
+
+def _tree_fold(values: np.ndarray, op: Op) -> Any:
+    """Fold a power-of-two block in canonical binary-tree order."""
+    work = list(values)
+    while len(work) > 1:
+        work = [op(work[i], work[i + 1]) for i in range(0, len(work), 2)]
+    return work[0]
+
+
+def merge_segments(left: list[Segment], right: list[Segment], op: Op
+                   ) -> list[Segment]:
+    """Merge two adjacent segment stacks, combining siblings into parents."""
+    merged = list(left) + list(right)
+    changed = True
+    while changed:
+        changed = False
+        out: list[Segment] = []
+        i = 0
+        while i < len(merged):
+            if (
+                i + 1 < len(merged)
+                and merged[i][0] == merged[i + 1][0]
+                and merged[i][1] % 2 == 0
+                and merged[i + 1][1] == merged[i][1] + 1
+            ):
+                level, idx, v1 = merged[i]
+                v2 = merged[i + 1][2]
+                out.append((level + 1, idx // 2, op(v1, v2)))
+                i += 2
+                changed = True
+            else:
+                out.append(merged[i])
+                i += 1
+        merged = out
+    return merged
+
+
+class ReproducibleReduce(CommunicatorPlugin):
+    """Adds ``reduce_reproducible`` / ``allreduce_reproducible``."""
+
+    @plugin_method
+    def allreduce_reproducible(self, values: Any, op: Op = SUM) -> Any:
+        """Reduce distributed ``values`` with a p-independent combine order.
+
+        Every rank passes its local block (global order = rank order); every
+        rank receives the identical, distribution-independent result.
+        """
+        result = self.reduce_reproducible(values, op)
+        return self.bcast(send_recv_buf(result if self.rank == 0 else 0.0))
+
+    @plugin_method
+    def reduce_reproducible(self, values: Any, op: Op = SUM) -> Optional[Any]:
+        """Rooted variant: the fixed-tree result is delivered at rank 0."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise UsageError("reduce_reproducible expects a 1-D block per rank")
+        count = len(values)
+        start = self.exscan_single(send_buf(count), op_param(SUM))
+        segments = local_segments(int(start), values, op)
+
+        # binomial merge over ranks (contiguous ranges merge in rank order)
+        p, r = self.size, self.rank
+        mask = 1
+        tag = 930_001
+        while mask < p:
+            if r & mask:
+                self.raw.send(segments, r - mask, tag)
+                return None
+            if r | mask < p:
+                other, _ = self.raw.recv(r | mask, tag)
+                segments = merge_segments(segments, other, op)
+            mask <<= 1
+        # canonical left-to-right fold of the surviving stack
+        if not segments:
+            if op.identity is None:
+                raise UsageError(
+                    "reduce_reproducible over zero elements needs an op with "
+                    "an identity"
+                )
+            return op.identity
+        acc = segments[0][2]
+        for _, _, value in segments[1:]:
+            acc = op(acc, value)
+        return acc

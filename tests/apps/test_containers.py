@@ -1,0 +1,181 @@
+"""Distributed containers (§VI extension): DistributedArray and MapReduce-lite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.containers import DistributedArray, reduce_by_key, word_count
+from repro.containers.mapreduce import collect_to_root, histogram
+from repro.core import Communicator, extend
+from repro.mpi import MAX, MIN, PROD, SUM
+from repro.plugins import SparseAlltoall
+from tests.conftest import runk
+
+SparseComm = extend(Communicator, SparseAlltoall)
+
+
+class TestDistributedArray:
+    def test_generate_covers_range(self):
+        def main(comm):
+            da = DistributedArray.generate(comm, 100, lambda i: i * 2)
+            return da.allcollect().tolist()
+
+        res = runk(main, 4)
+        assert res.values[0] == [2 * i for i in range(100)]
+
+    def test_scatter_from_root_and_collect(self):
+        data = np.arange(37, dtype=np.int64)
+
+        def main(comm):
+            da = DistributedArray.scatter_from(
+                comm, data if comm.rank == 0 else None
+            )
+            back = da.collect(root=0)
+            return back.tolist() if back is not None else None, da.local_size
+
+        res = runk(main, 5)
+        assert res.values[0][0] == list(range(37))
+        sizes = [v[1] for v in res.values]
+        assert sum(sizes) == 37 and max(sizes) - min(sizes) <= 1
+
+    def test_map_filter_reduce_pipeline(self):
+        def main(comm):
+            da = DistributedArray.generate(comm, 1000, lambda i: i)
+            return (da.map(lambda x: x + 1)
+                      .filter(lambda x: x % 2 == 0)
+                      .sum())
+
+        expected = sum(i + 1 for i in range(1000) if (i + 1) % 2 == 0)
+        assert all(v == expected for v in runk(main, 4).values)
+
+    def test_min_max_prod(self):
+        def main(comm):
+            da = DistributedArray.generate(comm, 12, lambda i: i + 1)
+            return da.min(), da.max(), da.reduce(PROD)
+
+        import math
+        assert runk(main, 3).values[0] == (1, 12, math.factorial(12))
+
+    def test_reduce_with_empty_block_uses_identity(self):
+        def main(comm):
+            local = np.arange(5) if comm.rank == 0 else np.empty(0, dtype=np.int64)
+            return DistributedArray.from_local(comm, local).sum()
+
+        assert all(v == 10 for v in runk(main, 3).values)
+
+    def test_reduce_empty_without_identity_raises(self):
+        def main(comm):
+            local = np.empty(0, dtype=np.float64)
+            DistributedArray.from_local(comm, local).min()
+
+        with pytest.raises(RuntimeError, match="identity"):
+            runk(main, 2)
+
+    def test_size_and_offset(self):
+        def main(comm):
+            da = DistributedArray.from_local(
+                comm, np.arange(comm.rank + 1)
+            )
+            return da.size(), da.global_offset()
+
+        res = runk(main, 4)
+        assert [v for v in res.values] == [(10, 0), (10, 1), (10, 3), (10, 6)]
+
+    def test_sort_global_order(self):
+        def main(comm):
+            rng = np.random.default_rng(comm.rank)
+            da = DistributedArray.from_local(comm, rng.integers(0, 999, 100))
+            return da.sort().local
+
+        blocks = runk(main, 4).values
+        merged = np.concatenate(blocks)
+        assert (np.diff(merged) >= 0).all()
+
+    def test_rebalance_preserves_order_and_balances(self):
+        def main(comm):
+            # wildly imbalanced: rank r holds r^2 elements
+            n = comm.rank ** 2
+            offset = sum(i ** 2 for i in range(comm.rank))
+            da = DistributedArray.from_local(
+                comm, np.arange(offset, offset + n, dtype=np.int64)
+            )
+            rb = da.rebalance()
+            return rb.local, rb.local_size
+
+        res = runk(main, 5)
+        blocks = [v[0] for v in res.values]
+        sizes = [v[1] for v in res.values]
+        total = sum(i ** 2 for i in range(5))
+        assert np.concatenate(blocks).tolist() == list(range(total))
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_non_1d_rejected(self):
+        def main(comm):
+            DistributedArray.from_local(comm, np.zeros((2, 2)))
+
+        with pytest.raises(RuntimeError, match="1-D"):
+            runk(main, 1)
+
+
+class TestReduceByKey:
+    def test_word_count_matches_sequential(self):
+        words = ("a b c a b a " * 10).split()
+
+        def main(comm):
+            per = len(words) // comm.size
+            lo = comm.rank * per
+            hi = lo + per if comm.rank < comm.size - 1 else len(words)
+            counts = word_count(comm, words[lo:hi])
+            return collect_to_root(comm, counts)
+
+        res = runk(main, 4, comm_class=SparseComm)
+        assert res.values[0] == {"a": 30, "b": 20, "c": 10}
+
+    def test_keys_partitioned_disjointly(self):
+        def main(comm):
+            part = histogram(comm, [comm.rank % 3, "x", (1, 2)])
+            return sorted(map(repr, part.keys()))
+
+        res = runk(main, 4, comm_class=SparseComm)
+        seen = [k for v in res.values for k in v]
+        assert len(seen) == len(set(seen))  # every key on exactly one rank
+
+    def test_fallback_without_sparse_plugin(self):
+        def main(comm):
+            return collect_to_root(
+                comm, reduce_by_key(comm, [("k", comm.rank)], lambda a, b: a + b)
+            )
+
+        res = runk(main, 4)  # plain Communicator: alltoall fallback
+        assert res.values[0] == {"k": 6}
+
+    def test_custom_combiner(self):
+        def main(comm):
+            pairs = [("max", comm.rank), ("max", comm.rank * 10)]
+            return collect_to_root(
+                comm, reduce_by_key(comm, pairs, max)
+            )
+
+        res = runk(main, 4, comm_class=SparseComm)
+        assert res.values[0] == {"max": 30}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), p=st.integers(1, 5))
+    def test_reduce_by_key_property(self, seed, p):
+        rng = np.random.default_rng(seed)
+        all_pairs = [(int(k), int(v))
+                     for k, v in zip(rng.integers(0, 10, 50),
+                                     rng.integers(-100, 100, 50))]
+        expected: dict = {}
+        for k, v in all_pairs:
+            expected[k] = expected.get(k, 0) + v
+
+        def main(comm):
+            per = len(all_pairs) // comm.size
+            lo = comm.rank * per
+            hi = lo + per if comm.rank < comm.size - 1 else len(all_pairs)
+            part = reduce_by_key(comm, all_pairs[lo:hi], lambda a, b: a + b)
+            return collect_to_root(comm, part)
+
+        res = runk(main, p, comm_class=SparseComm)
+        assert res.values[0] == expected

@@ -1,0 +1,90 @@
+"""More DistributedArray coverage: chained pipelines, offsets, large flows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.containers import DistributedArray
+from repro.core import Communicator, extend
+from repro.mpi import SUM
+from repro.plugins import SparseAlltoall
+from tests.conftest import runk
+
+
+def test_pipeline_sort_then_rebalance_then_collect():
+    def main(comm):
+        rng = np.random.default_rng(comm.rank + 5)
+        da = DistributedArray.from_local(comm, rng.integers(0, 100, 50))
+        out = da.sort().rebalance()
+        return out.local, out.collect(root=0)
+
+    res = runk(main, 4)
+    sizes = [len(v[0]) for v in res.values]
+    assert max(sizes) - min(sizes) <= 1
+    collected = res.values[0][1]
+    assert (np.diff(collected) >= 0).all()
+    assert len(collected) == 200
+
+
+def test_generate_scatter_equivalence():
+    data = np.arange(41, dtype=np.int64) * 3
+
+    def main(comm):
+        generated = DistributedArray.generate(comm, 41, lambda i: i * 3)
+        scattered = DistributedArray.scatter_from(
+            comm, data if comm.rank == 0 else None
+        )
+        return np.array_equal(generated.local, scattered.local)
+
+    assert all(runk(main, 5).values)
+
+
+def test_map_preserves_distribution():
+    def main(comm):
+        da = DistributedArray.generate(comm, 30, lambda i: i)
+        mapped = da.map(lambda x: -x)
+        return da.local_size == mapped.local_size, mapped.global_offset() \
+            == da.global_offset()
+
+    assert all(all(v) for v in runk(main, 4).values)
+
+
+def test_filter_then_rebalance_after_skew():
+    def main(comm):
+        da = DistributedArray.generate(comm, 64, lambda i: i)
+        # keep only small values: they all live on the first ranks
+        skewed = da.filter(lambda x: x < 16)
+        balanced = skewed.rebalance()
+        return skewed.local_size, balanced.local_size, balanced.allcollect().tolist()
+
+    res = runk(main, 4)
+    balanced_sizes = [v[1] for v in res.values]
+    assert max(balanced_sizes) - min(balanced_sizes) <= 1
+    assert res.values[0][2] == list(range(16))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(1, 80),
+    p=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_sum_matches_numpy_property(n, p, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-1000, 1000, size=n)
+
+    def main(comm):
+        da = DistributedArray.scatter_from(
+            comm, data if comm.rank == 0 else None
+        )
+        return da.sum()
+
+    assert runk(main, p).values[0] == int(data.sum())
+
+
+def test_empty_global_array():
+    def main(comm):
+        da = DistributedArray.generate(comm, 0, lambda i: i)
+        return da.size(), da.sum(), len(da.allcollect())
+
+    assert runk(main, 3).values[0] == (0, 0, 0)

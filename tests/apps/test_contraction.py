@@ -1,0 +1,125 @@
+"""Graph contraction and the multilevel coarsening driver (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graphs import generate_rgg2d
+from repro.apps.graphs.contraction import contract, densify_labels, multilevel_coarsen
+from repro.apps.graphs.graph import block_bounds, from_edge_list
+from tests.conftest import runk
+
+
+def _sequential_contract(edges, labels):
+    """Reference: contract an edge set by a global label array."""
+    used = sorted(set(labels))
+    dense = {g: i for i, g in enumerate(used)}
+    out = set()
+    for u, v in edges:
+        cu, cv = dense[labels[u]], dense[labels[v]]
+        if cu != cv:
+            out.add((cu, cv))
+    return out, len(used)
+
+
+def _collect_edges(graphs):
+    edges = []
+    for g in graphs:
+        for lv in range(g.local_size):
+            v = g.first + lv
+            edges.extend((v, int(t)) for t in g.neighbors(v))
+    return edges
+
+
+class TestContract:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_sequential_reference(self, p):
+        n_per = 8
+        n = n_per * p
+        # a ring graph, every vertex clustered with its pair (v // 2)
+        def main(comm):
+            first, last = block_bounds(n, p, comm.rank)
+            src = np.repeat(np.arange(first, last), 2)
+            tgt = np.empty_like(src)
+            tgt[0::2] = (src[0::2] - 1) % n
+            tgt[1::2] = (src[1::2] + 1) % n
+            g = from_edge_list(n, p, comm.rank, src, tgt)
+            labels = np.arange(first, last) // 2
+            coarse, dense = contract(comm, g, labels)
+            return coarse, dense
+
+        res = runk(main, p)
+        coarse_graphs = [v[0] for v in res.values]
+        got_edges = set(_collect_edges(coarse_graphs))
+        ring_edges = [(v, (v - 1) % n) for v in range(n)] + \
+                     [(v, (v + 1) % n) for v in range(n)]
+        expected, n_coarse = _sequential_contract(
+            ring_edges, [v // 2 for v in range(n)]
+        )
+        assert got_edges == expected
+        assert coarse_graphs[0].n_global == n_coarse == n // 2
+
+    def test_self_loops_removed_and_parallel_edges_merged(self):
+        def main(comm):
+            # complete graph on 4 vertices, all in one cluster except vertex 3
+            n = 4
+            first, last = block_bounds(n, comm.size, comm.rank)
+            src, tgt = [], []
+            for v in range(first, last):
+                for u in range(n):
+                    if u != v:
+                        src.append(v)
+                        tgt.append(u)
+            g = from_edge_list(n, comm.size, comm.rank,
+                               np.array(src), np.array(tgt))
+            labels = np.array([0 if v < 3 else 3
+                               for v in range(first, last)])
+            coarse, _ = contract(comm, g, labels)
+            return coarse
+
+        res = runk(main, 2)
+        edges = set(_collect_edges(res.values))
+        # two coarse vertices (0 and 1), one edge each way, no self loops
+        assert edges == {(0, 1), (1, 0)}
+
+    def test_densify_is_consistent_across_ranks(self):
+        def main(comm):
+            first, last = block_bounds(12, comm.size, comm.rank)
+            g = from_edge_list(12, comm.size, comm.rank,
+                               np.empty(0, dtype=np.int64),
+                               np.empty(0, dtype=np.int64))
+            labels = np.array([100 + (v % 3) for v in range(first, last)])
+            dense, n_coarse, mapping = densify_labels(comm, g, labels)
+            return n_coarse, mapping
+
+        res = runk(main, 3)
+        assert all(v == res.values[0] for v in res.values)
+        assert res.values[0][0] == 3
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_hierarchy_shrinks_monotonically(self, p):
+        def main(comm):
+            g = generate_rgg2d(64, 8.0, p, comm.rank, seed=3)
+            levels = multilevel_coarsen(comm, g, max_cluster_size=8,
+                                        threshold=16)
+            return [lvl.graph.n_global for lvl in levels]
+
+        res = runk(main, p)
+        sizes = res.values[0]
+        assert all(v == sizes for v in res.values)
+        assert len(sizes) >= 1
+        assert all(b < a for a, b in zip([64 * p] + sizes, sizes))
+
+    def test_projection_maps_fine_to_coarse(self):
+        def main(comm):
+            g = generate_rgg2d(32, 8.0, comm.size, comm.rank, seed=3)
+            levels = multilevel_coarsen(comm, g, max_cluster_size=8,
+                                        threshold=8, max_levels=1)
+            lvl = levels[0]
+            return g.local_size, lvl.labels, lvl.graph.n_global
+
+        res = runk(main, 4)
+        for local_n, labels, n_coarse in res.values:
+            assert len(labels) == local_n
+            assert labels.min() >= 0 and labels.max() < n_coarse

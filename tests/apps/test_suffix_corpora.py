@@ -1,0 +1,85 @@
+"""Suffix-array algorithms on realistic corpora (Markov / repetitive / DNA)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.suffix import pdc3, prefix_doubling_kamping, suffix_array_sequential
+from repro.apps.suffix.common import is_suffix_array, local_block
+from repro.apps.suffix.corpora import CORPORA, dna_text, markov_text, repetitive_text
+from tests.conftest import runk
+
+
+class TestGenerators:
+    def test_markov_alphabet_and_determinism(self):
+        t1 = markov_text(300, sigma=6, seed=4)
+        t2 = markov_text(300, sigma=6, seed=4)
+        assert np.array_equal(t1, t2)
+        assert t1.min() >= 1 and t1.max() <= 6
+
+    def test_markov_is_skewed(self):
+        """Bigram skew: the most frequent successor dominates."""
+        t = markov_text(3000, sigma=6, skew=6.0, seed=4)
+        pairs = {}
+        for a, b in zip(t[:-1], t[1:]):
+            pairs.setdefault(int(a), []).append(int(b))
+        top_share = np.mean([
+            max(np.bincount(succ)) / len(succ) for succ in pairs.values()
+        ])
+        assert top_share > 0.4
+
+    def test_repetitive_is_fibonacci_like(self):
+        t = repetitive_text(13)
+        assert t.tolist() == [1, 2, 1, 1, 2, 1, 2, 1, 1, 2, 1, 1, 2]
+
+    def test_dna_contains_motifs(self):
+        t = dna_text(500, motif_len=10, motif_rate=0.5, seed=2)
+        assert t.min() >= 1 and t.max() <= 4
+        # the motif appears more than chance would allow
+        text = "".join(map(str, t.tolist()))
+        motif = None
+        for i in range(0, len(text) - 10):
+            cand = text[i: i + 10]
+            if text.count(cand) >= 3:
+                motif = cand
+                break
+        assert motif is not None
+
+
+@pytest.mark.parametrize("corpus", list(CORPORA))
+@pytest.mark.parametrize("algo", ["prefix_doubling", "dc3"])
+def test_suffix_arrays_on_corpora(corpus, algo):
+    text = CORPORA[corpus](220, seed=9) if corpus != "repetitive" \
+        else repetitive_text(220)
+    ref = suffix_array_sequential(text)
+    assert is_suffix_array(text, ref)
+
+    def main(comm):
+        blk = local_block(text, comm.size, comm.rank)
+        if algo == "prefix_doubling":
+            return prefix_doubling_kamping(comm, blk, len(text))
+        return pdc3(comm, blk, len(text))
+
+    res = runk(main, 4)
+    sa = np.concatenate(list(res.values))
+    assert np.array_equal(sa, ref), (corpus, algo)
+
+
+def test_repetitive_needs_more_doubling_rounds():
+    """The adversarial corpus takes more rounds than random text."""
+    from repro.mpi import snapshot
+
+    def rounds_for(text):
+        def main(comm):
+            before = dict(comm.raw.machine.profile[comm.raw.world_rank])
+            prefix_doubling_kamping(comm, local_block(text, comm.size, comm.rank),
+                                    len(text))
+            after = comm.raw.machine.profile[comm.raw.world_rank]
+            return after["alltoallv"] - before.get("alltoallv", 0)
+
+        return runk(main, 2).values[0]
+
+    from repro.apps.suffix import random_text
+
+    random_rounds = rounds_for(random_text(200, sigma=4, seed=1))
+    repetitive_rounds = rounds_for(repetitive_text(200))
+    assert repetitive_rounds > random_rounds

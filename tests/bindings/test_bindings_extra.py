@@ -1,0 +1,167 @@
+"""Additional comparator-binding coverage: p2p, scans, layouts, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.bindings import boost_mpi, mpl, rwth_mpi
+from repro.mpi import MAX, SUM
+from tests.conftest import runp
+
+
+class TestBoostExtra:
+    def test_p2p_object_roundtrip(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            if raw.rank == 0:
+                comm.send(1, 42, {"payload": [1, 2]})
+                return None
+            return comm.recv(0, 42)
+
+        assert runp(main, 2).values[1] == {"payload": [1, 2]}
+
+        # and nonblocking
+        def main2(raw):
+            comm = boost_mpi.communicator(raw)
+            if raw.rank == 0:
+                comm.isend(1, 1, "async").wait()
+                return None
+            payload, _ = comm.irecv(0, 1).wait()
+            return payload
+
+        assert runp(main2, 2).values[1] == "async"
+
+    def test_scan(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            return boost_mpi.scan(comm, raw.rank + 1, SUM)
+
+        res = runp(main, 4)
+        assert [v for v in res.values] == [1, 3, 6, 10]
+
+    def test_scatter(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            values = [f"v{i}" for i in range(raw.size)] if raw.rank == 0 else None
+            return boost_mpi.scatter(comm, values, 0)
+
+        assert runp(main, 3).values == ["v0", "v1", "v2"]
+
+    def test_gatherv_requires_sizes(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            try:
+                boost_mpi.gatherv(comm, np.arange(raw.rank + 1), None, 0)
+            except boost_mpi.BoostMpiException:
+                return "needs sizes"
+
+        assert runp(main, 2).values[0] == "needs sizes"
+
+    def test_unmappable_op_rejected(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            boost_mpi.all_reduce(comm, 1, "not callable")
+
+        with pytest.raises(RuntimeError, match="cannot map"):
+            runp(main, 1)
+
+    def test_barrier_and_rank_size(self):
+        def main(raw):
+            comm = boost_mpi.communicator(raw)
+            comm.barrier()
+            return comm.rank(), comm.size()
+
+        assert runp(main, 3).values[2] == (2, 3)
+
+
+class TestMplExtra:
+    def test_send_recv_with_layout(self):
+        def main(raw):
+            comm = mpl.communicator(raw)
+            if raw.rank == 0:
+                comm.send(np.arange(10), 1, 3, l=mpl.contiguous_layout(4))
+                return None
+            return comm.recv(0, 3).tolist()
+
+        assert runp(main, 2).values[1] == [0, 1, 2, 3]
+
+    def test_reductions_and_scans(self):
+        def main(raw):
+            comm = mpl.communicator(raw)
+            return (
+                comm.allreduce(SUM, raw.rank + 1),
+                comm.reduce(MAX, 0, raw.rank),
+                comm.scan(SUM, 1),
+                comm.exscan(SUM, 1),
+            )
+
+        res = runp(main, 4)
+        assert res.values[0] == (10, 3, 1, 0)
+
+    def test_bcast_and_gather(self):
+        def main(raw):
+            comm = mpl.communicator(raw)
+            value = comm.bcast(0, "cfg" if raw.rank == 0 else None)
+            gathered = comm.gather(0, raw.rank * raw.rank)
+            return value, gathered
+
+        res = runp(main, 3)
+        assert res.values[0] == ("cfg", [0, 1, 4])
+
+    def test_empty_layout_in_alltoallv(self):
+        def main(raw):
+            comm = mpl.communicator(raw)
+            p = raw.size
+            sendls = mpl.layouts([mpl.empty_layout()] * p)
+            recvls = mpl.layouts([mpl.empty_layout()] * p)
+            out = comm.alltoallv(np.empty(0, dtype=np.int64), sendls, recvls)
+            return len(out)
+
+        assert all(v == 0 for v in runp(main, 3).values)
+
+    def test_contiguous_layouts_helper(self):
+        ls = mpl.contiguous_layouts_from_counts([1, 0, 3])
+        assert len(ls) == 3
+        assert [ls[i].extent() for i in range(3)] == [1, 0, 3]
+
+
+class TestRwthExtra:
+    def test_p2p_mirrors_c_interface(self):
+        def main(raw):
+            comm = rwth_mpi.Communicator(raw)
+            if raw.rank == 0:
+                comm.send(np.arange(3), 1, tag=9)
+                return None
+            return comm.receive(0, tag=9).tolist()
+
+        assert runp(main, 2).values[1] == [0, 1, 2]
+
+    def test_scan_and_reduce(self):
+        def main(raw):
+            comm = rwth_mpi.Communicator(raw)
+            return comm.scan(raw.rank + 1, SUM), comm.reduce(1, SUM, root=1)
+
+        res = runp(main, 3)
+        assert res.values[1] == (3, 3)
+        assert res.values[0][1] is None
+
+    def test_all_to_all_fixed(self):
+        def main(raw):
+            comm = rwth_mpi.Communicator(raw)
+            return comm.all_to_all([raw.rank * 10 + d for d in range(raw.size)])
+
+        res = runp(main, 3)
+        assert res.values[2] == [2, 12, 22]
+
+    def test_explicit_recv_counts_skip_exchange(self):
+        from repro.mpi import expect_calls
+
+        def main(raw):
+            comm = rwth_mpi.Communicator(raw)
+            p = raw.size
+            with expect_calls(raw, alltoallv=1):
+                out = comm.all_to_all_varying(
+                    np.full(p, raw.rank, dtype=np.int64), [1] * p, [1] * p
+                )
+            return out.tolist()
+
+        assert runp(main, 3).values[0] == [0, 1, 2]

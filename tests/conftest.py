@@ -1,0 +1,30 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Communicator
+from repro.mpi import FREE, CostModel, RunResult, run_mpi
+from repro.core.runner import run as run_kamping
+
+#: rank counts exercised by most correctness tests (includes non-powers of 2)
+SMALL_P = (1, 2, 3, 4, 7, 8)
+
+
+def runp(fn, p, *, args=(), cost_model=None, deadline=60.0) -> RunResult:
+    """Run ``fn(raw_comm, *args)`` on ``p`` ranks (raw runtime)."""
+    return run_mpi(fn, p, args=args, cost_model=cost_model, deadline=deadline)
+
+
+def runk(fn, p, *, args=(), cost_model=None, comm_class=Communicator,
+         deadline=60.0) -> RunResult:
+    """Run ``fn(kamping_comm, *args)`` on ``p`` ranks."""
+    return run_kamping(fn, p, args=args, cost_model=cost_model,
+                       comm_class=comm_class, deadline=deadline)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBEEF)

@@ -1,0 +1,205 @@
+"""The paper's running example: allgatherv at every abstraction level.
+
+Covers Fig. 1 (one-liner and fully-tuned call), Fig. 3 (gradual migration),
+and the §III-A inference semantics verified through the PMPI counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    grow_only,
+    move,
+    recv_buf,
+    recv_counts,
+    recv_counts_out,
+    recv_displs,
+    recv_displs_out,
+    resize_to_fit,
+    send_buf,
+    send_count,
+    send_recv_buf,
+)
+from repro.mpi import expect_calls
+from tests.conftest import SMALL_P, runk
+
+
+def _expected(p):
+    return [x for i in range(p) for x in range(i + 1)]
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_one_liner(p):
+    """Fig. 1 (1): everything inferred."""
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        return comm.allgatherv(send_buf(v)).tolist()
+
+    assert all(v == _expected(p) for v in runk(main, p).values)
+
+
+def test_one_liner_issues_exactly_allgather_plus_allgatherv():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        with expect_calls(comm.raw, allgather=1, allgatherv=1):
+            comm.allgatherv(send_buf(v))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_explicit_counts_issue_single_raw_call():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        counts = [i + 1 for i in range(comm.size)]
+        with expect_calls(comm.raw, allgatherv=1):
+            out = comm.allgatherv(send_buf(v), recv_counts(counts))
+        return out.tolist()
+
+    assert all(v == _expected(4) for v in runk(main, 4).values)
+
+
+def test_fully_tuned_call_fig1_style():
+    """Fig. 1 (2): moved-in counts container, displs requested, resize policy."""
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        rc = []
+        result = comm.allgatherv(
+            send_buf(v),
+            recv_counts_out(move(rc), resize=resize_to_fit),
+            recv_displs_out(),
+        )
+        buf, counts, displs = result
+        return buf.tolist(), counts, displs
+
+    res = runk(main, 4)
+    buf, counts, displs = res.values[0]
+    assert buf == _expected(4)
+    assert counts == [1, 2, 3, 4]
+    assert displs == [0, 1, 3, 6]
+
+
+def test_migration_v1_all_explicit():
+    """Fig. 3 version 1: everything computed by the caller."""
+    def main(comm):
+        p = comm.size
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        rc = np.zeros(p, dtype=np.int64)
+        rc[comm.rank] = len(v)
+        comm.allgather(send_recv_buf(rc))
+        rd = np.concatenate(([0], np.cumsum(rc)[:-1]))
+        v_glob = np.zeros(int(rc.sum()), dtype=np.int64)
+        with expect_calls(comm.raw, allgatherv=1):
+            comm.allgatherv(send_buf(v), recv_buf(v_glob),
+                            recv_counts(rc), recv_displs(rd.tolist()))
+        return v_glob.tolist()
+
+    assert all(v == _expected(4) for v in runk(main, 4).values)
+
+
+def test_migration_v2_displs_implicit():
+    """Fig. 3 version 2: counts given, displacements computed, resize_to_fit."""
+    def main(comm):
+        p = comm.size
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        rc = np.zeros(p, dtype=np.int64)
+        rc[comm.rank] = len(v)
+        comm.allgather(send_recv_buf(rc))
+        v_glob = []
+        comm.allgatherv(send_buf(v), recv_buf(v_glob, resize=resize_to_fit),
+                        recv_counts(rc))
+        return v_glob
+
+    assert all(v == _expected(4) for v in runk(main, 4).values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_migration_v3_one_liner_returns_by_value(p):
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        v_glob = comm.allgatherv(send_buf(v))
+        return isinstance(v_glob, np.ndarray), v_glob.tolist()
+
+    for is_array, got in runk(main, p).values:
+        assert is_array and got == _expected(p)
+
+
+def test_referencing_recv_buf_returns_none():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        target = np.zeros(10, dtype=np.int64)
+        ret = comm.allgatherv(send_buf(v), recv_buf(target))
+        return ret, target.tolist()
+
+    res = runk(main, 4)
+    ret, target = res.values[0]
+    assert ret is None
+    assert target == _expected(4)
+
+
+def test_moved_recv_buf_storage_reused():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        storage = np.zeros(10, dtype=np.int64)
+        out = comm.allgatherv(send_buf(v), recv_buf(move(storage)))
+        # the same storage backs the result (move semantics, no copy)
+        return out.base is storage or out is storage, out.tolist()
+
+    reused, got = runk(main, 4).values[0]
+    assert reused and got == _expected(4)
+
+
+def test_custom_displs_with_gaps():
+    """Explicit displacements may leave gaps; gaps are zero-filled."""
+    def main(comm):
+        v = np.full(1, comm.rank + 1, dtype=np.int64)
+        counts = [1] * comm.size
+        displs = [2 * i for i in range(comm.size)]
+        return comm.allgatherv(
+            send_buf(v), recv_counts(counts), recv_displs(displs)
+        ).tolist()
+
+    res = runk(main, 3)
+    assert res.values[0] == [1, 0, 2, 0, 3]
+
+
+def test_send_count_limits_contribution():
+    def main(comm):
+        v = np.arange(5, dtype=np.int64) + 10 * comm.rank
+        return comm.allgatherv(send_buf(v), send_count(2)).tolist()
+
+    res = runk(main, 3)
+    assert res.values[0] == [0, 1, 10, 11, 20, 21]
+
+
+def test_list_send_buf_returns_list():
+    def main(comm):
+        return comm.allgatherv(send_buf([comm.rank] * (comm.rank + 1)))
+
+    res = runk(main, 3)
+    assert res.values[0] == [0, 1, 1, 2, 2, 2]
+    assert isinstance(res.values[0], list)
+
+
+def test_recv_counts_out_into_referencing_array():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        counts = np.zeros(comm.size, dtype=np.int64)
+        buf = comm.allgatherv(send_buf(v), recv_counts_out(counts))
+        return buf.tolist(), counts.tolist()
+
+    buf, counts = runk(main, 4).values[0]
+    assert buf == _expected(4)
+    assert counts == [1, 2, 3, 4]
+
+
+def test_grow_only_list_grows_but_never_shrinks():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        big = [-1] * 50
+        comm.allgatherv(send_buf(v), recv_buf(big, resize=grow_only))
+        return len(big), big[: 10]
+
+    length, head = runk(main, 4).values[0]
+    assert length == 50
+    assert head == _expected(4)

@@ -1,0 +1,116 @@
+"""Concurrency-sensitive behaviour: shared plan cache, overlapping
+communicators, interleaved non-blocking traffic, and sub-communicator
+parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Communicator,
+    PlanCache,
+    RequestPool,
+    destination,
+    op,
+    recv_counts,
+    send_buf,
+    send_counts,
+    source,
+)
+from repro.mpi import SUM
+from tests.conftest import runk
+
+
+def test_shared_plan_cache_across_rank_threads():
+    """All rank threads share the global plan cache without corruption."""
+    cache = PlanCache()
+
+    def main(comm):
+        c = Communicator(comm.raw, plan_cache=cache)
+        for _ in range(20):
+            c.allgatherv(send_buf(np.arange(comm.rank + 1)))
+        return True
+
+    assert all(runk(main, 8).values)
+    # exactly one signature was ever compiled, despite 8 concurrent threads
+    # (benign double-compilation is allowed but must stay bounded)
+    assert cache.compilations <= 8
+
+
+def test_parallel_collectives_on_disjoint_subcomms():
+    """Disjoint split groups run collectives fully independently."""
+    def main(comm):
+        sub = comm.split(comm.rank % 3)
+        values = []
+        for i in range(10):
+            values.append(sub.allreduce_single(send_buf(comm.rank + i),
+                                               op(SUM)))
+        return values
+
+    res = runk(main, 6)
+    # group {0,3}: ranks 0+3=3, plus 2i
+    assert res.values[0] == [3 + 2 * i for i in range(10)]
+    assert res.values[1] == [5 + 2 * i for i in range(10)]
+
+
+def test_world_and_subcomm_interleaved():
+    def main(comm):
+        sub = comm.split(0)  # same membership, separate context
+        a = comm.allreduce_single(send_buf(1), op(SUM))
+        b = sub.allreduce_single(send_buf(2), op(SUM))
+        c = comm.allreduce_single(send_buf(3), op(SUM))
+        return a, b, c
+
+    res = runk(main, 4)
+    assert res.values[0] == (4, 8, 12)
+
+
+def test_many_outstanding_nonblocking_ops():
+    def main(comm):
+        p, r = comm.size, comm.rank
+        pool = RequestPool()
+        recvs = RequestPool()
+        for i in range(30):
+            dest = (r + 1 + i) % p
+            pool.submit(comm.isend(send_buf(np.array([r, i])),
+                                   destination(dest)))
+        for _ in range(30):
+            recvs.submit(comm.irecv())
+        pool.wait_all()
+        got = recvs.wait_all()
+        return sorted(int(np.asarray(v)[1]) for v in got)
+
+    res = runk(main, 5)
+    for v in res.values:
+        assert sorted(v) == sorted(list(range(30)))
+
+
+def test_interleaved_p2p_and_collectives_heavy():
+    def main(comm):
+        p, r = comm.size, comm.rank
+        total = 0
+        for i in range(15):
+            comm.send(send_buf(i), destination((r + 1) % p))
+            total += comm.allreduce_single(send_buf(1), op(SUM))
+            got = comm.recv(source((r - 1) % p))
+            assert got == i
+        return total
+
+    res = runk(main, 4)
+    assert all(v == 60 for v in res.values)
+
+
+def test_alltoallv_storm_on_same_comm():
+    """Many back-to-back inference-path alltoallvs stay correctly matched."""
+    def main(comm):
+        p, r = comm.size, comm.rank
+        outs = []
+        for i in range(10):
+            data = np.full(p, r * 100 + i, dtype=np.int64)
+            out = comm.alltoallv(send_buf(data), send_counts([1] * p))
+            outs.append(np.asarray(out).tolist())
+        return outs
+
+    res = runk(main, 4)
+    for r in range(4):
+        for i, out in enumerate(res.values[r]):
+            assert out == [s * 100 + i for s in range(4)]

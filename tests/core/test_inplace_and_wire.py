@@ -1,0 +1,156 @@
+"""Deeper coverage of the in-place call semantics and wire-format decisions.
+
+These tests are additive depth over the in-place (`send_recv_buf`) paths and
+the WireBuffer decode rules — the places where C MPI's silent-ignore and
+silent-serialize behaviours are replaced by explicit semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Communicator,
+    SerializationRequiredError,
+    encode_send,
+    move,
+    op,
+    send_buf,
+    send_recv_buf,
+)
+from repro.core.types import WireBuffer
+from repro.mpi import SUM, expect_calls
+from tests.conftest import runk
+
+
+class TestInPlaceSemantics:
+    def test_inplace_allgather_list_container(self):
+        def main(comm):
+            data = [0] * comm.size
+            data[comm.rank] = comm.rank + 10
+            comm.allgather(send_recv_buf(data))
+            return data
+
+        res = runk(main, 4)
+        assert all(v == [10, 11, 12, 13] for v in res.values)
+
+    def test_inplace_allgather_block_size_two(self):
+        def main(comm):
+            data = np.zeros(2 * comm.size, dtype=np.int64)
+            data[2 * comm.rank: 2 * comm.rank + 2] = [comm.rank, -comm.rank]
+            comm.allgather(send_recv_buf(data))
+            return data.tolist()
+
+        res = runk(main, 3)
+        assert res.values[0] == [0, 0, 1, -1, 2, -2]
+
+    def test_inplace_indivisible_buffer_rejected(self):
+        def main(comm):
+            comm.allgather(send_recv_buf(np.zeros(comm.size + 1)))
+
+        with pytest.raises(RuntimeError, match="divisible"):
+            runk(main, 2)
+
+    def test_inplace_allreduce_moved_returns_by_value(self):
+        def main(comm):
+            data = np.array([float(comm.rank)])
+            out = comm.allreduce(send_recv_buf(move(data)), op(SUM))
+            return np.asarray(out).tolist()
+
+        assert runk(main, 4).values[0] == [6.0]
+
+    def test_bcast_requires_send_recv_buf(self):
+        def main(comm):
+            comm.bcast(send_buf(1))
+
+        with pytest.raises(RuntimeError, match="send_recv_buf"):
+            runk(main, 1)
+
+
+class TestWireFormat:
+    def test_scalar_flag_set_only_for_scalars(self):
+        assert encode_send(5).scalar
+        assert encode_send(2.5).scalar
+        assert not encode_send([1, 2]).scalar
+        assert not encode_send(np.arange(3)).scalar
+
+    def test_bool_and_numpy_scalars(self):
+        assert encode_send(np.int32(7)).count == 1
+        assert encode_send(True).decode(np.array([True])) is True \
+            or encode_send(True).decode(np.array([True])) == True  # noqa: E712
+
+    def test_tuple_of_numbers_encodes_like_list(self):
+        wire = encode_send((1, 2, 3))
+        assert wire.count == 3
+
+    def test_set_requires_serialization(self):
+        with pytest.raises(SerializationRequiredError):
+            encode_send({1, 2, 3})
+
+    def test_none_requires_serialization(self):
+        with pytest.raises(SerializationRequiredError):
+            encode_send(None)
+
+    def test_empty_list(self):
+        wire = encode_send([])
+        assert wire.count == 0
+        assert wire.decode(np.empty(0)) == []
+
+    def test_str_is_opaque_scalar(self):
+        wire = encode_send("hello")
+        assert wire.count == 1 and wire.payload == "hello"
+
+    def test_wirebuffer_defaults(self):
+        wb = WireBuffer(np.arange(2), 2, packed=False, compute_bytes=0,
+                        decode=lambda a: a)
+        assert wb.scalar is False
+
+
+class TestMixedScenarios:
+    def test_gather_of_strings(self):
+        from repro.core import root
+
+        def main(comm):
+            out = comm.gather(send_buf(f"rank-{comm.rank}"), root(0))
+            return out
+
+        res = runk(main, 3)
+        assert res.values[0] == ["rank-0", "rank-1", "rank-2"]
+
+    def test_allreduce_of_strings_with_user_op(self):
+        from repro.mpi import user_op
+
+        def main(comm):
+            concat = user_op(lambda a, b: a + b, commutative=False)
+            return comm.allreduce_single(send_buf(f"{comm.rank}"), op(concat))
+
+        assert all(v == "0123" for v in runk(main, 4).values)
+
+    def test_alltoall_strings(self):
+        def main(comm):
+            # one string per destination as a list of objects is not a static
+            # type; strings per destination must go through alltoall of a
+            # listed payload at the raw level or be serialized — verify the
+            # static path rejects it explicitly
+            try:
+                comm.alltoall(send_buf([f"to-{d}" for d in range(comm.size)]))
+            except SerializationRequiredError:
+                return "explicit"
+
+        assert all(v == "explicit" for v in runk(main, 2).values)
+
+    def test_repeat_calls_alternate_variants(self):
+        """In-place and regular variants of the same collective interleave."""
+        def main(comm):
+            results = []
+            for i in range(4):
+                if i % 2 == 0:
+                    results.append(
+                        comm.allreduce_single(send_buf(i), op(SUM)))
+                else:
+                    data = np.array([float(i)])
+                    comm.allreduce(send_recv_buf(data), op(SUM))
+                    results.append(data[0])
+            return results
+
+        res = runk(main, 3)
+        assert res.values[0] == [0, 3.0, 6, 9.0]

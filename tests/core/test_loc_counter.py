@@ -1,0 +1,80 @@
+"""The Table-I LoC counter itself."""
+
+import pytest
+
+from repro.loc import format_loc_table, loc_table, logical_loc
+
+
+def test_counts_body_lines():
+    def fn(x):
+        a = x + 1
+        b = a * 2
+        return b
+
+    assert logical_loc(fn) == 3
+
+
+def test_docstring_excluded():
+    def fn(x):
+        """A docstring
+        spanning lines."""
+        return x
+
+    assert logical_loc(fn) == 1
+
+
+def test_comments_and_blanks_excluded():
+    def fn(x):
+        # a comment
+        a = x
+
+        # another
+        return a
+
+    assert logical_loc(fn) == 2
+
+
+def test_multiline_statement_counts_per_line():
+    def fn(x):
+        return (x +
+                1 +
+                2)
+
+    assert logical_loc(fn) == 3
+
+
+def test_one_liner_is_one():
+    def fn(comm, v):
+        return comm.allgatherv(v)
+
+    assert logical_loc(fn) == 1
+
+
+def test_nested_blocks_counted():
+    def fn(xs):
+        out = []
+        for x in xs:
+            if x > 0:
+                out.append(x)
+        return out
+
+    assert logical_loc(fn) == 5
+
+
+def test_non_function_rejected():
+    with pytest.raises(TypeError):
+        logical_loc(int)
+
+
+def test_table_and_formatting():
+    def a():
+        return 1
+
+    def b():
+        x = 1
+        return x
+
+    table = loc_table({"example": {"A": a, "B": b}})
+    assert table == {"example": {"A": 1, "B": 2}}
+    rendered = format_loc_table(table, ["A", "B"])
+    assert "example" in rendered and "1" in rendered and "2" in rendered

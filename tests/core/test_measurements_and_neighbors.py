@@ -1,0 +1,183 @@
+"""Measurement utilities (timer/counter) and wrapped neighborhood collectives."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UsageError,
+    recv_counts,
+    recv_counts_out,
+    send_buf,
+    send_counts,
+)
+from repro.core.measurements import Counter, Timer
+from repro.mpi import CostModel, expect_calls
+from tests.conftest import runk
+
+CM = CostModel(alpha=1e-3, beta=0.0, overhead=0.0)
+
+
+class TestTimer:
+    def test_records_virtual_time(self):
+        def main(comm):
+            timer = Timer(comm)
+            timer.start("compute")
+            comm.compute(0.5)
+            elapsed = timer.stop()
+            return elapsed
+
+        res = runk(main, 2, cost_model=CM)
+        assert all(v == pytest.approx(0.5) for v in res.values)
+
+    def test_nested_keys(self):
+        def main(comm):
+            timer = Timer(comm)
+            with timer.scoped("outer"):
+                comm.compute(0.1)
+                with timer.scoped("inner"):
+                    comm.compute(0.2)
+            return sorted(timer.local())
+
+        assert runk(main, 1).values[0] == ["outer", "outer.inner"]
+
+    def test_accumulates_across_calls(self):
+        def main(comm):
+            timer = Timer(comm)
+            for _ in range(3):
+                with timer.scoped("phase"):
+                    comm.compute(0.1)
+            local = timer.local()["phase"]
+            return local["count"], local["total"]
+
+        count, total = runk(main, 1).values[0]
+        assert count == 3 and total == pytest.approx(0.3)
+
+    def test_aggregate_across_ranks(self):
+        def main(comm):
+            timer = Timer(comm)
+            with timer.scoped("work"):
+                comm.compute(0.1 * (comm.rank + 1))
+            stats = timer.aggregate()["work"]
+            return stats
+
+        res = runk(main, 4, cost_model=CM)
+        stats = res.values[0]
+        assert stats["min"] == pytest.approx(0.1)
+        assert stats["max"] == pytest.approx(0.4)
+        assert stats["mean"] == pytest.approx(0.25)
+
+    def test_synchronize_and_start(self):
+        def main(comm):
+            timer = Timer(comm)
+            if comm.rank == 0:
+                comm.compute(1.0)  # straggler before the measured phase
+            timer.synchronize_and_start("aligned")
+            comm.compute(0.1)
+            timer.stop()
+            return timer.aggregate()["aligned"]["max"]
+
+        res = runk(main, 2, cost_model=CM)
+        # the barrier absorbs the straggler; the measured phase is ~0.1
+        assert res.values[0] < 0.2
+
+    def test_stop_without_start(self):
+        def main(comm):
+            Timer(comm).stop()
+
+        with pytest.raises(RuntimeError, match="without a running timer"):
+            runk(main, 1)
+
+    def test_dotted_names_rejected(self):
+        def main(comm):
+            Timer(comm).start("a.b")
+
+        with pytest.raises(RuntimeError, match="must not contain"):
+            runk(main, 1)
+
+    def test_aggregate_with_running_timer_rejected(self):
+        def main(comm):
+            t = Timer(comm)
+            t.start("open")
+            t.aggregate()
+
+        with pytest.raises(RuntimeError, match="still running"):
+            runk(main, 1)
+
+
+class TestCounter:
+    def test_add_and_aggregate(self):
+        def main(comm):
+            c = Counter(comm)
+            c.add("messages", comm.rank + 1)
+            c.add("messages", 1)
+            return c.aggregate()["messages"]
+
+        stats = runk(main, 3).values[0]
+        assert stats["sum"] == (1 + 2 + 3) + 3
+        assert stats["max"] == 4
+        assert stats["min"] == 2
+
+    def test_default_increment(self):
+        def main(comm):
+            c = Counter(comm)
+            c.add("events")
+            c.add("events")
+            return c.local()
+
+        assert runk(main, 1).values[0] == {"events": 2}
+
+
+class TestWrappedNeighborCollectives:
+    @staticmethod
+    def _ring(comm):
+        p, r = comm.size, comm.rank
+        return comm.with_topology([(r - 1) % p], [(r + 1) % p])
+
+    def test_neighbor_alltoall(self):
+        def main(comm):
+            topo = self._ring(comm)
+            out = topo.neighbor_alltoall(send_buf(np.array([comm.rank, 7])))
+            return np.asarray(out).tolist()
+
+        res = runk(main, 4)
+        assert res.values[0] == [3, 7]
+
+    def test_neighbor_alltoallv_with_inference(self):
+        def main(comm):
+            topo = self._ring(comm)
+            data = np.full(comm.rank + 1, comm.rank, dtype=np.int64)
+            with expect_calls(topo.raw, neighbor_alltoall=1,
+                              neighbor_alltoallv=1):
+                buf, counts = topo.neighbor_alltoallv(
+                    send_buf(data), send_counts([comm.rank + 1]),
+                    recv_counts_out(),
+                )
+            return np.asarray(buf).tolist(), counts
+
+        res = runk(main, 4)
+        for r in range(4):
+            left = (r - 1) % 4
+            buf, counts = res.values[r]
+            assert buf == [left] * (left + 1)
+            assert counts == [left + 1]
+
+    def test_neighbor_alltoallv_explicit_counts_single_call(self):
+        def main(comm):
+            topo = self._ring(comm)
+            left = (comm.rank - 1) % comm.size
+            with expect_calls(topo.raw, neighbor_alltoallv=1):
+                buf = topo.neighbor_alltoallv(
+                    send_buf(np.full(2, comm.rank, dtype=np.int64)),
+                    send_counts([2]), recv_counts([2]),
+                )
+            return np.asarray(buf).tolist()
+
+        res = runk(main, 3)
+        assert res.values[0] == [2, 2]
+
+    def test_requires_topology(self):
+        def main(comm):
+            comm.neighbor_alltoall(send_buf(np.array([1])))
+
+        with pytest.raises(RuntimeError, match="topology"):
+            runk(main, 2)

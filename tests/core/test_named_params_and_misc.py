@@ -1,0 +1,254 @@
+"""Named-parameter factories, functor mapping, with_flattened, p2p wrapping,
+plugin infrastructure, leveled assertions, and communicator management."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AssertionLevel,
+    Communicator,
+    CommunicatorPlugin,
+    Flattened,
+    UsageError,
+    assertion_level,
+    assertions,
+    destination,
+    extend,
+    kassert,
+    op,
+    recv_buf,
+    register_parameter,
+    send_buf,
+    send_counts,
+    set_assertion_level,
+    source,
+    status_out,
+    tag,
+    with_flattened,
+)
+from repro.core.parameters import IN, OUT, Parameter
+from repro.mpi import MAX, SUM, user_op
+from tests.conftest import runk
+
+
+class TestFactories:
+    def test_directions(self):
+        from repro.core import recv_counts, recv_counts_out, send_recv_buf
+
+        assert send_buf([1]).direction == IN
+        assert recv_counts([1]).direction == IN
+        assert recv_counts_out().direction == OUT
+        assert send_recv_buf([1]).direction == "inout"
+
+    def test_scalar_params_coerced_to_int(self):
+        assert destination(np.int64(3)).data == 3
+        assert isinstance(tag(np.int32(7)).data, int)
+
+    def test_op_functor_mapping(self):
+        assert op(operator.add).data is SUM
+        assert op(max).data is MAX
+        assert op(np.add).data is SUM
+
+    def test_op_builtin_passthrough(self):
+        assert op(SUM).data is SUM
+
+    def test_op_commutativity_override(self):
+        o = op(SUM, commutative=False).data
+        assert o.name == "sum" and not o.commutative
+
+    def test_op_lambda_defaults_commutative(self):
+        o = op(lambda a, b: a + b).data
+        assert o.commutative
+
+    def test_op_noncommutative_lambda(self):
+        o = op(lambda a, b: a - b, commutative=False).data
+        assert not o.commutative
+
+    def test_op_rejects_non_callable(self):
+        with pytest.raises(UsageError):
+            op(42)
+
+
+class TestWithFlattened:
+    def test_mapping_form(self):
+        flat = with_flattened({2: [7, 8], 0: [1]}, 3)
+        assert isinstance(flat, Flattened)
+        assert flat.counts == [1, 0, 2]
+        assert flat.data.tolist() == [1, 7, 8]
+
+    def test_sequence_form(self):
+        flat = with_flattened([[1], [], [2, 3]], 3)
+        assert flat.counts == [1, 0, 2]
+
+    def test_out_of_range_destination(self):
+        with pytest.raises(UsageError):
+            with_flattened({5: [1]}, 3)
+
+    def test_wrong_sequence_length(self):
+        with pytest.raises(UsageError):
+            with_flattened([[1]], 3)
+
+    def test_call_forwards_params(self):
+        flat = with_flattened({0: [1, 2]}, 1)
+        keys = flat.call(lambda *ps: [p.key for p in ps])
+        assert keys == ["send_buf", "send_counts"]
+
+    def test_fig9_exchange_pattern(self):
+        def main(comm):
+            nested = {(comm.rank + 1) % comm.size: [comm.rank] * 2}
+            return with_flattened(nested, comm.size).call(
+                lambda *flattened: comm.alltoallv(*flattened)
+            ).tolist()
+
+        res = runk(main, 3)
+        assert res.values[0] == [2, 2]
+
+
+class TestWrappedP2P:
+    def test_status_out(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(send_buf(np.arange(4)), destination(1), tag(3))
+                return None
+            data, status = comm.recv(source(0), status_out())
+            return data.tolist(), status.source, status.tag
+
+        assert runk(main, 2).values[1] == ([0, 1, 2, 3], 0, 3)
+
+    def test_probe_wrapped(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(send_buf([1, 2]), destination(1), tag(6))
+                return None
+            status = comm.probe(source(0))
+            data = comm.recv(source(0), tag(status.tag))
+            return status.tag, list(data)
+
+        assert runk(main, 2).values[1] == (6, [1, 2])
+
+    def test_ssend_wrapped(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.ssend(send_buf("sync"), destination(1))
+                return "sent"
+            return comm.recv(source(0))
+
+        assert runk(main, 2).values == ["sent", "sync"]
+
+
+class TestPluginInfrastructure:
+    def test_extend_builds_subclass(self):
+        class Doubler(CommunicatorPlugin):
+            def allreduce_doubled(self, value):
+                return 2 * self.allreduce_single(send_buf(value), op(SUM))
+
+        Comm = extend(Communicator, Doubler)
+        assert issubclass(Comm, Communicator)
+
+        def main(comm):
+            return comm.allreduce_doubled(1)
+
+        assert runk(main, 3, comm_class=Comm).values[0] == 6
+
+    def test_plugin_can_override_core_method(self):
+        class Constant(CommunicatorPlugin):
+            def allreduce_single(self, *params):
+                return "overridden"
+
+        Comm = extend(Communicator, Constant)
+
+        def main(comm):
+            return comm.allreduce_single(send_buf(1), op(SUM))
+
+        assert runk(main, 2, comm_class=Comm).values[0] == "overridden"
+
+    def test_plugin_registers_parameters(self):
+        class WithParam(CommunicatorPlugin):
+            parameter_keys = ("custom_knob",)
+
+        extend(Communicator, WithParam)
+        from repro.core.parameters import is_registered
+
+        assert is_registered("custom_knob")
+
+    def test_non_plugin_rejected(self):
+        class NotAPlugin:
+            pass
+
+        with pytest.raises(TypeError):
+            extend(Communicator, NotAPlugin)
+
+    def test_plugin_extended_comm_survives_split(self):
+        class Marker(CommunicatorPlugin):
+            def mark(self):
+                return "marked"
+
+        Comm = extend(Communicator, Marker)
+
+        def main(comm):
+            sub = comm.split(comm.rank % 2)
+            return sub.mark()
+
+        assert all(v == "marked" for v in runk(main, 4, comm_class=Comm).values)
+
+
+class TestAssertions:
+    def test_default_level_is_normal(self):
+        assert assertion_level() == AssertionLevel.NORMAL
+
+    def test_context_manager_restores(self):
+        with assertions(AssertionLevel.NONE):
+            assert assertion_level() == AssertionLevel.NONE
+        assert assertion_level() == AssertionLevel.NORMAL
+
+    def test_kassert_disabled_levels_skip_thunk(self):
+        calls = []
+
+        def expensive():
+            calls.append(1)
+            return False
+
+        with assertions(AssertionLevel.LIGHT):
+            kassert(AssertionLevel.HEAVY, expensive, "never evaluated")
+        assert calls == []
+
+    def test_kassert_raises_with_level_tag(self):
+        with pytest.raises(AssertionError, match=r"\[kassert/LIGHT\]"):
+            kassert(AssertionLevel.LIGHT, False, "boom")
+
+    def test_communication_level_check_catches_mismatched_counts(self):
+        def main(comm):
+            set_assertion_level(AssertionLevel.COMMUNICATION)
+            try:
+                comm.allgather(send_buf([0] * (comm.rank + 1)))
+            except AssertionError as exc:
+                return "equal send counts" in str(exc)
+            finally:
+                set_assertion_level(AssertionLevel.NORMAL)
+
+        res = runk(main, 2)
+        assert all(res.values)
+
+
+class TestCommManagement:
+    def test_wrapped_split_and_dup(self):
+        def main(comm):
+            sub = comm.split(comm.rank % 2)
+            dup = comm.dup()
+            return (sub.allreduce_single(send_buf(1), op(SUM)),
+                    dup.allreduce_single(send_buf(1), op(SUM)))
+
+        res = runk(main, 4)
+        assert res.values[0] == (2, 4)
+
+    def test_with_topology_neighbor_traffic(self):
+        def main(comm):
+            p, r = comm.size, comm.rank
+            topo = comm.with_topology([(r - 1) % p], [(r + 1) % p])
+            out = topo.raw.neighbor_alltoall([f"hi-{r}"])
+            return out
+
+        res = runk(main, 3)
+        assert res.values[0] == ["hi-2"]

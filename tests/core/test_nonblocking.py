@@ -1,0 +1,173 @@
+"""Non-blocking safety (§III-E, Fig. 6): ownership, poisoning, request pools."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundedRequestPool,
+    RequestPool,
+    destination,
+    move,
+    recv_count,
+    send_buf,
+    send_buf_out,
+    source,
+)
+from tests.conftest import runk
+
+
+def test_fig6_isend_move_and_rereturn():
+    """Moved-in send buffer is re-returned by wait() after completion."""
+    def main(comm):
+        if comm.rank == 0:
+            v = np.array([1, 2, 3])
+            r1 = comm.isend(send_buf_out(move(v)), destination(1))
+            back = r1.wait()
+            back[0] = 42  # usable (and writable) again after wait()
+            return back.tolist()
+        got = comm.recv(source(0))
+        return got.tolist()
+
+    res = runk(main, 2)
+    assert res.values[0] == [42, 2, 3]
+    assert res.values[1] == [1, 2, 3]
+
+
+def test_fig6_irecv_data_only_after_wait():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(send_buf(np.arange(42)), destination(1))
+            return None
+        r2 = comm.irecv(recv_count(42), source(0))
+        data = r2.wait()
+        return len(data)
+
+    assert runk(main, 2).values[1] == 42
+
+
+def test_send_buffer_poisoned_while_in_flight():
+    """Writing to an in-flight send buffer raises immediately."""
+    def main(comm):
+        if comm.rank == 0:
+            v = np.array([7, 8, 9])
+            req = comm.isend(send_buf(v), destination(1))
+            try:
+                v[0] = 0
+                poisoned = False
+            except ValueError:
+                poisoned = True
+            req.wait()
+            v[0] = 0  # restored after completion
+            return poisoned, v.tolist()
+        comm.recv(source(0))
+        return None
+
+    poisoned, after = runk(main, 2).values[0]
+    assert poisoned and after == [0, 8, 9]
+
+
+def test_test_returns_none_until_complete():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source(1))
+            first = req.test()  # nothing sent yet
+            comm.send(send_buf(1), destination(1))
+            while True:
+                value = req.test()
+                if value is not None:
+                    return first, value
+        comm.recv(source(0))
+        comm.send(send_buf("done"), destination(0))
+        return None
+
+    first, value = runk(main, 2).values[0]
+    assert first is None and value == "done"
+
+
+def test_held_buffer_blocked_while_pending():
+    from repro.core import InFlightAccessError
+
+    def main(comm):
+        if comm.rank == 0:
+            v = np.arange(3)
+            req = comm.issend(send_buf_out(move(v)), destination(1))
+            try:
+                req.held_buffer()
+                return "accessible"
+            except InFlightAccessError:
+                pass
+            comm.send(send_buf(0), destination(1), )
+            req.wait()
+            return "guarded"
+        comm.recv(source(0))  # matches the issend
+        comm.recv(source(0))
+        return None
+
+    assert runk(main, 2).values[0] == "guarded"
+
+
+def test_truncation_check_against_recv_count():
+    from repro.core import TruncationError
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(send_buf(np.arange(10)), destination(1))
+            return None
+        try:
+            comm.recv(source(0), recv_count(5))
+        except TruncationError:
+            return "truncated"
+
+    assert runk(main, 2).values[1] == "truncated"
+
+
+def test_request_pool_wait_all_in_order():
+    def main(comm):
+        p = comm.size
+        pool = RequestPool()
+        for offset in range(1, p):
+            pool.submit(comm.isend(send_buf(comm.rank),
+                                   destination((comm.rank + offset) % p)))
+        recvs = RequestPool()
+        for _ in range(p - 1):
+            recvs.submit(comm.irecv())
+        pool.wait_all()
+        values = recvs.wait_all()
+        assert len(pool) == 0
+        return sorted(v for v in values)
+
+    res = runk(main, 4)
+    for r in range(4):
+        assert res.values[r] == sorted(set(range(4)) - {r})
+
+
+def test_request_pool_test_all():
+    def main(comm):
+        pool = RequestPool()
+        pool.submit(comm.irecv(source(0), recv_count(1)))
+        ready_before = pool.test_all()
+        comm.send(send_buf(5), destination(comm.rank))
+        pool.wait_all()
+        return ready_before
+
+    assert runk(main, 1).values[0] is False
+
+
+def test_bounded_pool_displaces_oldest():
+    def main(comm):
+        pool = BoundedRequestPool(slots=2)
+        for i in range(4):
+            comm.send(send_buf(i), destination(comm.rank), )
+        for _ in range(4):
+            pool.submit(comm.irecv(source(comm.rank)))
+        assert len(pool) == 2
+        remaining = pool.wait_all()
+        return len(pool.displaced), len(remaining)
+
+    displaced, remaining = runk(main, 1).values[0]
+    assert displaced == 2 and remaining == 2
+
+
+def test_bounded_pool_needs_positive_slots():
+    with pytest.raises(ValueError):
+        BoundedRequestPool(0)

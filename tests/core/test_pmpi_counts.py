@@ -1,0 +1,135 @@
+"""The paper's §III-H methodology: assert that every inference path issues
+exactly the documented raw MPI calls — no more, no fewer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    op,
+    recv_counts,
+    recv_counts_out,
+    recv_displs,
+    recv_displs_out,
+    send_buf,
+    send_counts,
+    send_recv_buf,
+)
+from repro.mpi import SUM, expect_calls
+from tests.conftest import runk
+
+
+def test_allgatherv_inference_path():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        with expect_calls(comm.raw, allgather=1, allgatherv=1):
+            comm.allgatherv(send_buf(v))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_allgatherv_counts_given_no_extra_communication():
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        counts = [i + 1 for i in range(comm.size)]
+        with expect_calls(comm.raw, allgatherv=1):
+            comm.allgatherv(send_buf(v), recv_counts(counts))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_allgatherv_displs_are_local_computation():
+    """Requesting displacements adds zero raw calls (exclusive scan is local)."""
+    def main(comm):
+        v = np.arange(comm.rank + 1, dtype=np.int64)
+        counts = [i + 1 for i in range(comm.size)]
+        with expect_calls(comm.raw, allgatherv=1):
+            comm.allgatherv(send_buf(v), recv_counts(counts),
+                            recv_displs_out())
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_alltoallv_inference_path():
+    def main(comm):
+        p = comm.size
+        with expect_calls(comm.raw, alltoall=1, alltoallv=1):
+            comm.alltoallv(send_buf(np.zeros(p, dtype=np.int64)),
+                           send_counts([1] * p))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_alltoallv_full_parameters_single_call():
+    def main(comm):
+        p = comm.size
+        with expect_calls(comm.raw, alltoallv=1):
+            comm.alltoallv(send_buf(np.zeros(p, dtype=np.int64)),
+                           send_counts([1] * p), recv_counts([1] * p),
+                           recv_displs(list(range(p))))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_gatherv_inference_path():
+    def main(comm):
+        with expect_calls(comm.raw, gather=1, gatherv=1):
+            comm.gatherv(send_buf(np.arange(comm.rank + 1)))
+        return True
+
+    assert all(runk(main, 3).values)
+
+
+def test_simple_collectives_are_one_to_one():
+    def main(comm):
+        with expect_calls(comm.raw, bcast=1):
+            comm.bcast(send_recv_buf(1 if comm.rank == 0 else 0))
+        with expect_calls(comm.raw, allreduce=1):
+            comm.allreduce_single(send_buf(1), op(SUM))
+        with expect_calls(comm.raw, allgather=1):
+            comm.allgather(send_buf(np.arange(2)))
+        with expect_calls(comm.raw, scan=1):
+            comm.scan_single(send_buf(1), op(SUM))
+        with expect_calls(comm.raw, exscan=1):
+            comm.exscan_single(send_buf(1), op(SUM))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_inplace_allgather_is_one_call():
+    def main(comm):
+        data = np.zeros(comm.size, dtype=np.int64)
+        data[comm.rank] = comm.rank
+        with expect_calls(comm.raw, allgather=1):
+            comm.allgather(send_recv_buf(data))
+        return True
+
+    assert all(runk(main, 4).values)
+
+
+def test_expect_calls_reports_unexpected():
+    def main(comm):
+        try:
+            with expect_calls(comm.raw, allgather=1):
+                comm.allgather(send_buf(np.arange(1)))
+                comm.barrier()  # not declared
+        except AssertionError as exc:
+            return "unexpected raw call" in str(exc)
+
+    assert all(runk(main, 2).values)
+
+
+def test_expect_calls_reports_wrong_count():
+    def main(comm):
+        try:
+            with expect_calls(comm.raw, barrier=2):
+                comm.barrier()
+        except AssertionError as exc:
+            return "expected 2" in str(exc)
+
+    assert all(runk(main, 2).values)

@@ -1,0 +1,174 @@
+"""Property-based suite over the wrapped (KaMPIng-level) operations.
+
+Invariants checked on random inputs:
+
+- wrapped collectives agree with straightforward sequential computations;
+- the wrapped layer and the raw layer always produce identical data;
+- out-parameters are consistent with the returned buffers;
+- round-trips (scatter∘gather, split-then-collect) are the identity.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    op,
+    recv_counts_out,
+    recv_displs_out,
+    root,
+    send_buf,
+    send_counts,
+)
+from repro.mpi import MAX, MIN, SUM
+from tests.conftest import runk
+
+_settings = settings(max_examples=20, deadline=None)
+
+block_lists = st.lists(
+    st.lists(st.integers(-10**6, 10**6), min_size=0, max_size=6),
+    min_size=1, max_size=5,
+)
+
+
+@_settings
+@given(blocks=block_lists)
+def test_allgatherv_equals_concatenation_and_outputs_consistent(blocks):
+    p = len(blocks)
+
+    def main(comm):
+        local = np.asarray(blocks[comm.rank], dtype=np.int64)
+        buf, counts, displs = comm.allgatherv(
+            send_buf(local), recv_counts_out(), recv_displs_out()
+        )
+        return np.asarray(buf).tolist(), counts, displs
+
+    res = runk(main, p)
+    expected = [x for b in blocks for x in b]
+    for buf, counts, displs in res.values:
+        assert buf == expected
+        assert counts == [len(b) for b in blocks]
+        assert displs == [sum(len(b) for b in blocks[:i]) for i in range(p)]
+        # out-parameters must describe the buffer exactly
+        assert sum(counts) == len(buf)
+
+
+@_settings
+@given(
+    p=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_wrapped_equals_raw_alltoallv(p, seed):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 4, size=(p, p))
+
+    def main(comm):
+        r = comm.rank
+        data = np.concatenate(
+            [np.full(counts[r][d], r * 100 + d, dtype=np.int64)
+             for d in range(p)]
+        ) if counts[r].sum() else np.empty(0, dtype=np.int64)
+        wrapped = comm.alltoallv(send_buf(data), send_counts(counts[r].tolist()))
+        raw = comm.raw.alltoallv(data, counts[r].tolist(), counts[:, r].tolist())
+        return np.asarray(wrapped).tolist(), np.asarray(raw).tolist()
+
+    for wrapped, raw in runk(main, p).values:
+        assert wrapped == raw
+
+
+@_settings
+@given(
+    p=st.integers(1, 5),
+    values=st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=10),
+)
+def test_reductions_agree_with_python(p, values):
+    def main(comm):
+        mine = values[comm.rank % len(values)]
+        return (
+            comm.allreduce_single(send_buf(mine), op(SUM)),
+            comm.allreduce_single(send_buf(mine), op(MAX)),
+            comm.allreduce_single(send_buf(mine), op(MIN)),
+        )
+
+    picked = [values[r % len(values)] for r in range(p)]
+    res = runk(main, p)
+    assert res.values[0] == (sum(picked), max(picked), min(picked))
+
+
+@_settings
+@given(
+    p=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_scatter_gather_identity(p, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-100, 100, size=3 * p)
+
+    def main(comm):
+        if comm.rank == 0:
+            block = comm.scatter(send_buf(data), root(0))
+        else:
+            block = comm.scatter(root(0))
+        back = comm.gather(send_buf(np.asarray(block)), root(0))
+        return np.asarray(back).tolist() if back is not None else None
+
+    assert runk(main, p).values[0] == data.tolist()
+
+
+@_settings
+@given(
+    p=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_scan_exscan_relationship(p, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-50, 50, size=p)
+
+    def main(comm):
+        mine = int(values[comm.rank])
+        inc = comm.scan_single(send_buf(mine), op(SUM))
+        exc = comm.exscan_single(send_buf(mine), op(SUM))
+        return inc, exc, mine
+
+    res = runk(main, p)
+    for inc, exc, mine in res.values:
+        assert inc == exc + mine  # the defining identity
+
+
+@_settings
+@given(
+    p=st.integers(2, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_split_preserves_collective_results(p, seed):
+    """A collective on a split communicator equals the per-group computation."""
+    rng = np.random.default_rng(seed)
+    colors = rng.integers(0, 2, size=p)
+
+    def main(comm):
+        sub = comm.split(int(colors[comm.rank]))
+        return sub.allreduce_single(send_buf(comm.rank), op(SUM))
+
+    res = runk(main, p)
+    for r in range(p):
+        group = [i for i in range(p) if colors[i] == colors[r]]
+        assert res.values[r] == sum(group)
+
+
+@_settings
+@given(blocks=block_lists)
+def test_gatherv_root_invariance(blocks):
+    """Every root sees the same concatenation."""
+    p = len(blocks)
+
+    def main(comm):
+        local = np.asarray(blocks[comm.rank], dtype=np.int64)
+        outs = []
+        for rt in range(p):
+            out = comm.gatherv(send_buf(local), root(rt))
+            outs.append(np.asarray(out).tolist() if out is not None else None)
+        return outs
+
+    res = runk(main, p)
+    expected = [x for b in blocks for x in b]
+    for rt in range(p):
+        assert res.values[rt][rt] == expected

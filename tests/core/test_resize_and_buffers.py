@@ -1,0 +1,122 @@
+"""Resize policies (§III-C) and buffer ownership primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AssertionLevel,
+    BufferResizeError,
+    Moved,
+    assertions,
+    grow_only,
+    move,
+    no_resize,
+    recv_buf,
+    resize_to_fit,
+    send_buf,
+)
+from repro.core.buffers import Poison, poison_if_array, unwrap_moved
+from repro.core.resize import apply_policy_to_list, check_array_capacity
+from tests.conftest import runk
+
+
+class TestListPolicies:
+    def test_resize_to_fit_shrinks_and_grows(self):
+        c = [0] * 10
+        apply_policy_to_list(c, [1, 2], resize_to_fit)
+        assert c == [1, 2]
+        apply_policy_to_list(c, [1, 2, 3, 4], resize_to_fit)
+        assert c == [1, 2, 3, 4]
+
+    def test_grow_only_grows(self):
+        c = [0]
+        apply_policy_to_list(c, [1, 2, 3], grow_only)
+        assert c == [1, 2, 3]
+
+    def test_grow_only_keeps_capacity(self):
+        c = [9] * 5
+        apply_policy_to_list(c, [1, 2], grow_only)
+        assert c == [1, 2, 9, 9, 9]
+
+    def test_no_resize_writes_prefix(self):
+        c = [9] * 5
+        apply_policy_to_list(c, [1, 2], no_resize)
+        assert c == [1, 2, 9, 9, 9]
+
+    def test_no_resize_too_small_raises(self):
+        with pytest.raises(AssertionError):
+            apply_policy_to_list([0], [1, 2], no_resize)
+
+    def test_no_resize_unchecked_when_assertions_off(self):
+        with assertions(AssertionLevel.NONE):
+            with pytest.raises(BufferResizeError):
+                # even unchecked, physically impossible writes still fail
+                apply_policy_to_list([0], [1, 2], no_resize)
+
+
+class TestArrayPolicies:
+    def test_no_resize_capacity_ok(self):
+        check_array_capacity(5, 3, no_resize)
+
+    def test_no_resize_too_small(self):
+        with pytest.raises(AssertionError):
+            check_array_capacity(2, 3, no_resize)
+
+    def test_growing_policies_demand_exact_fit(self):
+        check_array_capacity(3, 3, resize_to_fit)
+        with pytest.raises(BufferResizeError, match="fixed-size"):
+            check_array_capacity(5, 3, resize_to_fit)
+        with pytest.raises(BufferResizeError):
+            check_array_capacity(2, 3, grow_only)
+
+
+class TestEndToEndPolicies:
+    def test_recv_buf_array_too_small_raises(self):
+        def main(comm):
+            target = np.zeros(1, dtype=np.int64)
+            comm.allgatherv(send_buf(np.arange(2)), recv_buf(target))
+
+        with pytest.raises(RuntimeError, match="too small"):
+            runk(main, 2)
+
+    def test_recv_buf_list_resize_to_fit(self):
+        def main(comm):
+            target = []
+            comm.allgatherv(send_buf([comm.rank]),
+                            recv_buf(target, resize=resize_to_fit))
+            return target
+
+        assert runk(main, 3).values[0] == [0, 1, 2]
+
+
+class TestMove:
+    def test_move_wraps_once(self):
+        c = [1]
+        m = move(c)
+        assert isinstance(m, Moved) and m.value is c
+        assert move(m) is m
+
+    def test_unwrap(self):
+        c = np.arange(2)
+        assert unwrap_moved(move(c)) == (c, True)
+        assert unwrap_moved(c) == (c, False)
+
+
+class TestPoison:
+    def test_poison_blocks_writes_and_restores(self):
+        arr = np.arange(3)
+        poison = Poison(arr)
+        with pytest.raises(ValueError):
+            arr[0] = 1
+        poison.release()
+        arr[0] = 1
+        assert arr[0] == 1
+
+    def test_poison_preserves_readonly(self):
+        arr = np.arange(3)
+        arr.flags.writeable = False
+        assert poison_if_array(arr) is None
+
+    def test_non_arrays_not_poisoned(self):
+        assert poison_if_array([1, 2]) is None
+        assert poison_if_array("abc") is None

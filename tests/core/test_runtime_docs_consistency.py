@@ -1,0 +1,92 @@
+"""Repository self-checks: public API completeness and docstring coverage.
+
+A downstream user's first contact is ``repro.core``'s public surface; these
+tests keep it coherent — everything in ``__all__`` importable, every public
+callable documented, the op-spec table consistent with the methods it backs.
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.core as core
+import repro.mpi as mpi
+import repro.plugins as plugins
+from repro.core.communicator import SPECS, Communicator
+
+
+def test_core_all_exports_exist():
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_mpi_all_exports_exist():
+    for name in mpi.__all__:
+        assert hasattr(mpi, name), name
+
+
+def test_plugins_all_exports_exist():
+    for name in plugins.__all__:
+        assert hasattr(plugins, name), name
+
+
+def test_top_level_exports():
+    assert repro.run_mpi is mpi.run_mpi
+    assert repro.Communicator is core.Communicator
+
+
+def test_every_spec_backs_a_method():
+    for name in SPECS:
+        if name == "barrier":
+            continue
+        assert hasattr(Communicator, name), f"spec {name} has no method"
+
+
+def test_every_wrapped_method_documented():
+    for name in SPECS:
+        method = getattr(Communicator, name, None)
+        if method is None:
+            continue
+        assert method.__doc__, f"{name} lacks a docstring"
+
+
+def test_public_core_callables_documented():
+    undocumented = []
+    for name in core.__all__:
+        obj = getattr(core, name)
+        if callable(obj) and not isinstance(obj, type):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, undocumented
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for module in (core, mpi, plugins):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_spec_out_keys_are_registered_parameters():
+    from repro.core.parameters import is_registered
+
+    for spec in SPECS.values():
+        for key in (*spec.required, *spec.optional, *spec.out_allowed,
+                    *spec.implicit_out):
+            assert is_registered(key), (spec.name, key)
+
+
+def test_conflict_pairs_reference_known_keys():
+    for spec in SPECS.values():
+        for present, forbidden, reason in spec.conflicts:
+            assert present in spec.allowed
+            assert forbidden in spec.allowed
+            assert reason
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,121 @@
+"""Explicit serialization (§III-D3, Fig. 5/11)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BINARY,
+    JSON,
+    BinaryArchive,
+    JsonArchive,
+    TypeMappingError,
+    as_deserializable,
+    as_serialized,
+    destination,
+    recv_buf,
+    send_buf,
+    send_recv_buf,
+    source,
+)
+from tests.conftest import runk
+
+
+class TestArchives:
+    def test_binary_roundtrip(self):
+        obj = {"a": [1, 2, {"b": "c"}], "t": (1, 2)}
+        assert BINARY.loads(BINARY.dumps(obj)) == obj
+
+    def test_json_roundtrip(self):
+        obj = {"a": [1, 2, "x"], "b": None}
+        assert JSON.loads(JSON.dumps(obj)) == obj
+
+    def test_json_custom_default(self):
+        archive = JsonArchive(default=lambda o: list(o))
+        assert archive.loads(archive.dumps({"s": {1, 2} if False else (1, 2)})) \
+            == {"s": [1, 2]}
+
+
+def test_fig5_send_recv_dict():
+    """Paper Fig. 5: send an unordered_map with explicit serialization."""
+    def main(comm):
+        data = {"hello": "world", "key": "value"}
+        if comm.rank == 0:
+            comm.send(send_buf(as_serialized(data)), destination(1))
+            return None
+        return comm.recv(source(0), recv_buf(as_deserializable(dict)))
+
+    assert runk(main, 2).values[1] == {"hello": "world", "key": "value"}
+
+
+def test_deserialization_type_check():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(send_buf(as_serialized([1, 2])), destination(1))
+            return None
+        try:
+            comm.recv(source(0), recv_buf(as_deserializable(dict)))
+        except TypeMappingError as exc:
+            return "expected dict" in str(exc)
+
+    assert runk(main, 2).values[1]
+
+
+def test_json_archive_over_the_wire():
+    def main(comm):
+        payload = {"model": "GTR", "rates": [1.0, 2.0]}
+        if comm.rank == 0:
+            comm.send(send_buf(as_serialized(payload, JSON)), destination(1))
+            return None
+        return comm.recv(source(0), recv_buf(as_deserializable(dict, JSON)))
+
+    assert runk(main, 2).values[1] == {"model": "GTR", "rates": [1.0, 2.0]}
+
+
+def test_fig11_serialized_bcast():
+    """The RAxML-NG pattern: bcast(send_recv_buf(as_serialized(obj)))."""
+    def main(comm):
+        obj = {"tree": [1, 2, 3]} if comm.rank == 0 else None
+        return comm.bcast(send_recv_buf(as_serialized(obj)))
+
+    assert all(v == {"tree": [1, 2, 3]} for v in runk(main, 4).values)
+
+
+def test_plain_recv_of_serialized_returns_bytes():
+    """Without as_deserializable the receiver sees the raw bytes — nothing
+    is deserialized implicitly."""
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(send_buf(as_serialized({"x": 1})), destination(1))
+            return None
+        got = comm.recv(source(0))
+        return isinstance(got, bytes)
+
+    assert runk(main, 2).values[1] is True
+
+
+def test_deserializable_on_non_serialized_message_raises():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(send_buf(np.arange(3)), destination(1))
+            return None
+        try:
+            comm.recv(source(0), recv_buf(as_deserializable(dict)))
+        except TypeMappingError:
+            return "caught"
+
+    assert runk(main, 2).values[1] == "caught"
+
+
+def test_serialization_charges_compute_time():
+    from repro.mpi import CostModel
+
+    cm = CostModel(alpha=0.0, beta=0.0, overhead=0.0, ser_beta=1e-6)
+
+    def main(comm):
+        obj = {"blob": "x" * 10000} if comm.rank == 0 else None
+        comm.bcast(send_recv_buf(as_serialized(obj)))
+        return comm.raw.clock.compute_seconds
+
+    res = runk(main, 2, cost_model=cm)
+    assert res.values[0] > 0.005  # root serialized ~10kB at 1µs/byte
+    assert res.values[1] > 0.005  # receiver deserialized

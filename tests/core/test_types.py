@@ -1,0 +1,191 @@
+"""The flexible type system (§III-D): reflection, trivially-copyable,
+dynamic constructors, and the no-implicit-serialization rule."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SerializationRequiredError,
+    TypeMappingError,
+    encode_send,
+    fixed_array,
+    from_structured,
+    is_trivially_copyable,
+    register_type,
+    send_buf,
+    struct_type,
+    to_structured,
+    type_contiguous,
+    type_struct,
+    type_vector,
+)
+from tests.conftest import runk
+
+
+@dataclass
+class MyType:
+    """The paper's Fig. 4 example struct."""
+
+    a: int
+    b: float
+    c: bool
+    d: fixed_array(np.int32, 3)
+
+
+@dataclass
+class Inner:
+    x: int
+    y: float
+
+
+@dataclass
+class Outer:
+    tag: int
+    inner: Inner
+
+
+class TestStructReflection:
+    def test_fig4_struct_reflects(self):
+        traits = struct_type(MyType)
+        assert traits.dtype.names == ("a", "b", "c", "d")
+        assert traits.dtype["d"].shape == (3,)
+        assert traits.as_bytes  # contiguous-bytes default (§III-D4)
+
+    def test_nested_dataclasses(self):
+        traits = struct_type(Outer)
+        assert traits.dtype["inner"].names == ("x", "y")
+
+    def test_roundtrip(self):
+        objs = [MyType(1, 2.5, True, [1, 2, 3]), MyType(-7, 0.0, False, [4, 5, 6])]
+        arr = to_structured(objs, MyType)
+        back = from_structured(arr, MyType)
+        assert back == objs
+
+    def test_nested_roundtrip(self):
+        objs = [Outer(1, Inner(2, 3.5)), Outer(4, Inner(5, 6.5))]
+        back = from_structured(to_structured(objs, Outer), Outer)
+        assert back == objs
+
+    def test_registration_is_idempotent(self):
+        assert struct_type(MyType) is struct_type(MyType)
+
+    def test_non_dataclass_rejected(self):
+        class Plain:
+            pass
+
+        with pytest.raises(TypeMappingError, match="dataclass"):
+            struct_type(Plain)
+
+    def test_trivially_copyable(self):
+        assert is_trivially_copyable(struct_type(MyType).dtype)
+        assert not is_trivially_copyable(np.dtype(object))
+
+
+class TestDynamicTypes:
+    def test_contiguous(self):
+        dt = type_contiguous(np.float64, 4)
+        arr = np.zeros(3, dtype=dt)
+        assert arr[0].shape == (4,)
+
+    def test_struct_constructor(self):
+        dt = type_struct([("a", np.int32), ("b", np.float64)])
+        assert dt.names == ("a", "b")
+
+    def test_vector_with_stride_has_holes(self):
+        base = np.dtype(np.int32)
+        dt = type_vector(base, count=2, blocklength=3, stride=5)
+        assert dt.itemsize == 2 * 5 * base.itemsize  # holes included
+
+    def test_vector_invalid_stride(self):
+        with pytest.raises(TypeMappingError):
+            type_vector(np.int32, 2, 4, 3)
+
+
+class TestEncodeSend:
+    def test_numeric_array_passthrough(self):
+        arr = np.arange(5)
+        wire = encode_send(arr)
+        assert wire.payload is arr and wire.count == 5 and not wire.packed
+
+    def test_scalar(self):
+        wire = encode_send(7)
+        assert wire.count == 1
+        assert wire.decode(np.array([7])) == 7
+
+    def test_numeric_list_decodes_to_list(self):
+        wire = encode_send([1, 2, 3])
+        assert wire.decode(np.array([9, 8])) == [9, 8]
+
+    def test_dataclass_list_encodes_to_structured(self):
+        objs = [Inner(1, 2.0), Inner(3, 4.0)]
+        wire = encode_send(objs)
+        assert wire.payload.dtype.names == ("x", "y")
+        assert wire.decode(wire.payload) == objs
+
+    def test_dict_requires_explicit_serialization(self):
+        with pytest.raises(SerializationRequiredError, match="as_serialized"):
+            encode_send({"k": 1})
+
+    def test_object_array_rejected(self):
+        with pytest.raises(SerializationRequiredError):
+            encode_send(np.array([object()], dtype=object))
+
+    def test_unregistered_element_type_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SerializationRequiredError):
+            encode_send([Opaque()])
+
+    def test_explicit_struct_path_marks_packed(self):
+        @dataclass
+        class Gappy:
+            a: bool
+            b: float
+
+        register_type(Gappy, struct_type(Gappy).dtype, as_bytes=False)
+        arr = to_structured([Gappy(True, 1.0)], Gappy)
+        assert encode_send(arr).packed
+
+
+class TestStructsOverTheWire:
+    def test_allgatherv_of_dataclasses(self):
+        def main(comm):
+            objs = [Inner(comm.rank, float(i)) for i in range(comm.rank + 1)]
+            return comm.allgatherv(send_buf(objs))
+
+        res = runk(main, 3)
+        got = res.values[0]
+        assert got == [Inner(0, 0.0), Inner(1, 0.0), Inner(1, 1.0),
+                       Inner(2, 0.0), Inner(2, 1.0), Inner(2, 2.0)]
+
+    def test_structured_array_p2p(self):
+        from repro.core import destination, source
+
+        def main(comm):
+            arr = to_structured([MyType(comm.rank, 1.5, True, [7, 8, 9])],
+                                MyType)
+            if comm.rank == 0:
+                comm.send(send_buf(arr), destination(1))
+                return None
+            got = comm.recv(source(0))
+            return from_structured(got, MyType)
+
+        res = runk(main, 2)
+        assert res.values[1] == [MyType(0, 1.5, True, [7, 8, 9])]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(-2**31, 2**31), st.floats(allow_nan=False,
+                                                    allow_infinity=False,
+                                                    width=32)),
+    min_size=1, max_size=20,
+))
+def test_structured_roundtrip_property(pairs):
+    objs = [Inner(x, float(np.float32(y))) for x, y in pairs]
+    back = from_structured(to_structured(objs, Inner), Inner)
+    assert all(a.x == b.x and a.y == pytest.approx(b.y) for a, b in zip(objs, back))

@@ -1,0 +1,235 @@
+"""Raw collectives against sequential references, across rank counts and roots."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MIN, PROD, SUM, RawUsageError, user_op
+from tests.conftest import SMALL_P, runp
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_barrier_completes(p):
+    def main(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert all(runp(main, p).values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+@pytest.mark.parametrize("root_sel", [0, "last", "mid"])
+def test_bcast_all_roots(p, root_sel):
+    root = {"last": p - 1, "mid": p // 2}.get(root_sel, 0)
+
+    def main(comm):
+        payload = {"data": [1, 2, 3]} if comm.rank == root else None
+        return comm.bcast(payload, root)
+
+    res = runp(main, p)
+    assert all(v == {"data": [1, 2, 3]} for v in res.values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_gather_order_and_roots(p):
+    def main(comm):
+        return [comm.gather(comm.rank * 2, root) for root in range(p)]
+
+    res = runp(main, p)
+    for root in range(p):
+        for rank in range(p):
+            expected = [2 * i for i in range(p)] if rank == root else None
+            assert res.values[rank][root] == expected
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_gatherv_counts_checked(p):
+    def main(comm):
+        block = np.full(comm.rank + 2, comm.rank, dtype=np.int64)
+        counts = [i + 2 for i in range(comm.size)] if comm.rank == 1 % comm.size else None
+        return comm.gatherv(block, counts, root=1 % comm.size)
+
+    res = runp(main, p)
+    expected = [r for r in range(p) for _ in range(r + 2)]
+    assert res.values[1 % p].tolist() == expected
+
+
+def test_gatherv_without_counts_at_root_raises():
+    def main(comm):
+        comm.gatherv(np.arange(2), None, root=0)
+
+    with pytest.raises(RuntimeError, match="recvcounts"):
+        runp(main, 2)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_scatter_and_scatterv(p):
+    def main(comm):
+        r = comm.rank
+        s = comm.scatter([f"item{d}" for d in range(comm.size)]
+                         if r == 0 else None, root=0)
+        counts = [i + 1 for i in range(comm.size)]
+        total = sum(counts)
+        sv = comm.scatterv(np.arange(total) if r == 0 else None,
+                           counts if r == 0 else None, root=0)
+        return s, sv.tolist()
+
+    res = runp(main, p)
+    offset = 0
+    for r in range(p):
+        s, sv = res.values[r]
+        assert s == f"item{r}"
+        assert sv == list(range(offset, offset + r + 1))
+        offset += r + 1
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_allgather_indexed_by_rank(p):
+    def main(comm):
+        return comm.allgather((comm.rank, "x" * comm.rank))
+
+    res = runp(main, p)
+    for v in res.values:
+        assert v == [(i, "x" * i) for i in range(p)]
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_allgatherv_concatenation(p):
+    def main(comm):
+        counts = [3 * i + 1 for i in range(comm.size)]
+        block = np.full(counts[comm.rank], comm.rank, dtype=np.int64)
+        return comm.allgatherv(block, counts).tolist()
+
+    expected = [r for r in range(p) for _ in range(3 * r + 1)]
+    assert all(v == expected for v in runp(main, p).values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_alltoall_transpose(p):
+    def main(comm):
+        out = comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+        return out
+
+    res = runp(main, p)
+    for r in range(p):
+        assert res.values[r] == [f"{s}->{r}" for s in range(p)]
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_alltoallv_matrix(p):
+    """Each rank sends (dest+1) copies of its id; verify the full matrix."""
+    def main(comm):
+        counts = [d + 1 for d in range(comm.size)]
+        sendbuf = np.concatenate(
+            [np.full(c, comm.rank, dtype=np.int64) for c in counts]
+        )
+        rcounts = [comm.rank + 1] * comm.size
+        return comm.alltoallv(sendbuf, counts, rcounts).tolist()
+
+    res = runp(main, p)
+    for r in range(p):
+        expected = [s for s in range(p) for _ in range(r + 1)]
+        assert res.values[r] == expected
+
+
+def test_alltoallv_zero_blocks():
+    def main(comm):
+        counts = [0] * comm.size
+        return comm.alltoallv(np.empty(0, dtype=np.int64), counts, counts)
+
+    res = runp(main, 4)
+    assert all(len(v) == 0 for v in res.values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_reduce_and_allreduce(p):
+    def main(comm):
+        arr = np.array([comm.rank + 1.0, 2.0])
+        red = comm.reduce(arr, SUM, root=p - 1)
+        allred = comm.allreduce(comm.rank + 1, MAX)
+        return red, allred
+
+    res = runp(main, p)
+    total = p * (p + 1) / 2
+    assert np.allclose(res.values[p - 1][0], [total, 2.0 * p])
+    assert all(v[1] == p for v in res.values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_scan_exscan(p):
+    def main(comm):
+        inc = comm.scan(comm.rank + 1, SUM)
+        exc = comm.exscan(comm.rank + 1, SUM)
+        return inc, exc
+
+    res = runp(main, p)
+    for r in range(p):
+        assert res.values[r][0] == (r + 1) * (r + 2) // 2
+        assert res.values[r][1] == r * (r + 1) // 2  # identity 0 on rank 0
+
+
+def test_exscan_without_identity_returns_none_on_rank0():
+    def main(comm):
+        return comm.exscan(comm.rank + 1.0, MIN)
+
+    res = runp(main, 3)
+    assert res.values[0] is None
+    assert res.values[1] == 1.0
+    assert res.values[2] == 1.0
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_non_commutative_reduce_rank_order(p):
+    """Non-commutative ops must fold in canonical rank order."""
+    concat = user_op(lambda a, b: f"{a}{b}", commutative=False, name="concat")
+
+    def main(comm):
+        red = comm.reduce(str(comm.rank), concat, root=p // 2)
+        allred = comm.allreduce(str(comm.rank), concat)
+        return red, allred
+
+    res = runp(main, p)
+    expected = "".join(str(i) for i in range(p))
+    assert res.values[p // 2][0] == expected
+    assert all(v[1] == expected for v in res.values)
+
+
+@pytest.mark.parametrize("p", SMALL_P)
+def test_non_commutative_scan(p):
+    concat = user_op(lambda a, b: f"{a}{b}", commutative=False, name="concat")
+
+    def main(comm):
+        return comm.scan(str(comm.rank), concat)
+
+    res = runp(main, p)
+    for r in range(p):
+        assert res.values[r] == "".join(str(i) for i in range(r + 1))
+
+
+def test_reduce_lambda_op():
+    def main(comm):
+        return comm.allreduce(comm.rank + 1, user_op(lambda a, b: a * b))
+
+    import math
+    assert runp(main, 5).values[0] == math.factorial(5)
+
+
+def test_collectives_interleaved_with_p2p():
+    """Collectives and user p2p with arbitrary tags must not interfere."""
+    def main(comm):
+        r, p = comm.rank, comm.size
+        comm.send(r, (r + 1) % p, tag=7)
+        total = comm.allreduce(1, SUM)
+        payload, _ = comm.recv((r - 1) % p, tag=7)
+        return total, payload
+
+    res = runp(main, 4)
+    assert [v for v in res.values] == [(4, 3), (4, 0), (4, 1), (4, 2)]
+
+
+def test_mismatched_root_is_usage_error():
+    def main(comm):
+        comm.bcast("x", root=17)
+
+    with pytest.raises(RuntimeError, match="root"):
+        runp(main, 2)

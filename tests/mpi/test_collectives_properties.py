@@ -1,0 +1,124 @@
+"""Property-based tests: raw collectives vs sequential references.
+
+Hypothesis drives random per-rank payloads through the threaded runtime and
+compares against straightforward sequential computations.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import MAX, MIN, SUM
+from tests.conftest import runp
+
+_settings = settings(max_examples=25, deadline=None)
+
+ranks = st.integers(min_value=1, max_value=6)
+blocks = st.lists(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0,
+             max_size=7),
+    min_size=1, max_size=6,
+)
+
+
+@_settings
+@given(data=blocks)
+def test_allgatherv_matches_concatenation(data):
+    p = len(data)
+
+    def main(comm):
+        counts = [len(b) for b in data]
+        block = np.asarray(data[comm.rank], dtype=np.int64)
+        return comm.allgatherv(block, counts).tolist()
+
+    expected = [x for b in data for x in b]
+    res = runp(main, p)
+    assert all(v == expected for v in res.values)
+
+
+@_settings
+@given(data=blocks)
+def test_gatherv_matches_concatenation(data):
+    p = len(data)
+    root = (len(data[0]) * 7) % p  # arbitrary but deterministic root
+
+    def main(comm):
+        counts = [len(b) for b in data] if comm.rank == root else None
+        block = np.asarray(data[comm.rank], dtype=np.int64)
+        out = comm.gatherv(block, counts, root)
+        return out.tolist() if out is not None else None
+
+    expected = [x for b in data for x in b]
+    res = runp(main, p)
+    assert res.values[root] == expected
+
+
+@_settings
+@given(
+    p=ranks,
+    matrix_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_alltoallv_matches_transpose(p, matrix_seed):
+    rng = np.random.default_rng(matrix_seed)
+    counts = rng.integers(0, 5, size=(p, p))  # counts[src][dst]
+
+    def main(comm):
+        r = comm.rank
+        sendbuf = np.concatenate(
+            [np.full(counts[r][d], r * 100 + d, dtype=np.int64)
+             for d in range(p)]
+        ) if counts[r].sum() else np.empty(0, dtype=np.int64)
+        out = comm.alltoallv(sendbuf, counts[r].tolist(),
+                             counts[:, r].tolist())
+        return out.tolist()
+
+    res = runp(main, p)
+    for r in range(p):
+        expected = [s * 100 + r for s in range(p)
+                    for _ in range(counts[s][r])]
+        assert res.values[r] == expected
+
+
+@_settings
+@given(
+    p=ranks,
+    seed=st.integers(min_value=0, max_value=2**31),
+    vector_len=st.integers(min_value=1, max_value=8),
+)
+def test_reductions_match_numpy(p, seed, vector_len):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-50, 50, size=(p, vector_len))
+
+    def main(comm):
+        arr = data[comm.rank]
+        return (
+            comm.allreduce(arr, SUM),
+            comm.allreduce(arr, MAX),
+            comm.allreduce(arr, MIN),
+            comm.scan(arr, SUM),
+        )
+
+    res = runp(main, p)
+    for r in range(p):
+        s, mx, mn, sc = res.values[r]
+        assert np.array_equal(s, data.sum(axis=0))
+        assert np.array_equal(mx, data.max(axis=0))
+        assert np.array_equal(mn, data.min(axis=0))
+        assert np.array_equal(sc, data[: r + 1].sum(axis=0))
+
+
+@_settings
+@given(
+    p=ranks,
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_scatter_gather_inverse(p, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 10**6, size=p).tolist()
+
+    def main(comm):
+        got = comm.scatter(values if comm.rank == 0 else None, 0)
+        back = comm.gather(got, 0)
+        return back
+
+    res = runp(main, p)
+    assert res.values[0] == values

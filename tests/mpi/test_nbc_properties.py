@@ -1,0 +1,113 @@
+"""Property-based tests for the non-blocking collectives.
+
+Invariant: for any inputs and rank count, a non-blocking collective completed
+by ``wait()`` (or driven to completion by ``test()``) returns exactly what
+its blocking counterpart returns — and arbitrary interleavings of several
+outstanding requests never cross-match.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import MAX, MIN, SUM
+from tests.conftest import runp
+
+_settings = settings(max_examples=15, deadline=None)
+
+
+@_settings
+@given(
+    p=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+    vec_len=st.integers(1, 6),
+)
+def test_iallreduce_equals_allreduce(p, seed, vec_len):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-100, 100, size=(p, vec_len))
+
+    def main(comm):
+        mine = data[comm.rank]
+        req = comm.iallreduce(mine, SUM)
+        blocking = comm.allreduce(mine, SUM)
+        nonblocking = req.wait()
+        return np.array_equal(np.asarray(nonblocking), np.asarray(blocking))
+
+    assert all(runp(main, p, deadline=30).values)
+
+
+@_settings
+@given(
+    p=st.integers(1, 6),
+    root_seed=st.integers(0, 100),
+    payload=st.one_of(
+        st.integers(-10**9, 10**9),
+        st.text(max_size=8),
+        st.lists(st.integers(0, 9), max_size=5),
+    ),
+)
+def test_ibcast_delivers_root_payload(p, root_seed, payload):
+    root = root_seed % p
+
+    def main(comm):
+        req = comm.ibcast(payload if comm.rank == root else None, root)
+        return req.wait()
+
+    res = runp(main, p, deadline=30)
+    assert all(v == payload for v in res.values)
+
+
+@_settings
+@given(
+    p=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+    n_outstanding=st.integers(1, 4),
+)
+def test_outstanding_nbc_never_cross_match(p, seed, n_outstanding):
+    rng = np.random.default_rng(seed)
+    payloads = rng.integers(0, 10**6, size=n_outstanding)
+
+    def main(comm):
+        reqs = [comm.iallreduce(int(payloads[i]) + comm.rank, SUM)
+                for i in range(n_outstanding)]
+        # complete them in reverse order to stress the matching
+        return [reqs[i].wait() for i in reversed(range(n_outstanding))]
+
+    res = runp(main, p, deadline=30)
+    rank_sum = p * (p - 1) // 2
+    expected = [int(payloads[i]) * p + rank_sum
+                for i in reversed(range(n_outstanding))]
+    assert all(v == expected for v in res.values)
+
+
+@_settings
+@given(
+    p=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_iallgather_equals_allgather(p, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 10**6, size=p)
+
+    def main(comm):
+        mine = int(values[comm.rank])
+        nb = comm.iallgather(mine)
+        blocking = comm.allgather(mine)
+        return nb.wait() == blocking
+
+    assert all(runp(main, p, deadline=30).values)
+
+
+@_settings
+@given(p=st.integers(2, 6), seed=st.integers(0, 2**31))
+def test_nbc_mixed_ops_same_window(p, seed):
+    rng = np.random.default_rng(seed)
+    x = int(rng.integers(1, 100))
+
+    def main(comm):
+        r1 = comm.iallreduce(x, MAX)
+        r2 = comm.iallreduce(comm.rank, MIN)
+        r3 = comm.ibcast("go" if comm.rank == 0 else None, 0)
+        return r3.wait(), r2.wait(), r1.wait()
+
+    res = runp(main, p, deadline=30)
+    assert all(v == ("go", 0, x) for v in res.values)

@@ -1,0 +1,101 @@
+"""Property-based point-to-point tests: random message schedules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from tests.conftest import runp
+
+_settings = settings(max_examples=15, deadline=None)
+
+# a schedule: list of (src, dst, tag, value)
+schedules = st.integers(2, 5).flatmap(
+    lambda p: st.lists(
+        st.tuples(
+            st.integers(0, p - 1),
+            st.integers(0, p - 1),
+            st.integers(0, 3),
+            st.integers(0, 10**6),
+        ),
+        min_size=0, max_size=25,
+    ).map(lambda sched: (p, sched))
+)
+
+
+@_settings
+@given(data=schedules)
+def test_every_sent_message_is_received_exactly_once(data):
+    p, schedule = data
+
+    def main(comm):
+        r = comm.rank
+        for src, dst, tag, value in schedule:
+            if src == r:
+                comm.send((src, dst, tag, value), dst, tag)
+        inbound = [m for m in schedule if m[1] == r]
+        got = []
+        for _ in inbound:
+            payload, status = comm.recv(ANY_SOURCE, ANY_TAG)
+            assert status.source == payload[0]
+            assert status.tag == payload[2]
+            got.append(payload)
+        return sorted(got)
+
+    res = runp(main, p)
+    for r in range(p):
+        expected = sorted(m for m in schedule if m[1] == r)
+        assert res.values[r] == expected
+
+
+@_settings
+@given(data=schedules)
+def test_per_source_per_tag_fifo(data):
+    """Messages with the same (source, tag) arrive in send order."""
+    p, schedule = data
+
+    def main(comm):
+        r = comm.rank
+        for i, (src, dst, tag, _) in enumerate(schedule):
+            if src == r:
+                comm.send(i, dst, tag)  # payload = schedule position
+        order: dict = {}
+        inbound = [m for m in schedule if m[1] == r]
+        for _ in inbound:
+            payload, status = comm.recv(ANY_SOURCE, ANY_TAG)
+            order.setdefault((status.source, status.tag), []).append(payload)
+        return order
+
+    res = runp(main, p)
+    for r in range(p):
+        for (src, tag), positions in res.values[r].items():
+            assert positions == sorted(positions), (src, tag)
+
+
+@_settings
+@given(
+    p=st.integers(2, 5),
+    n_messages=st.integers(1, 15),
+    seed=st.integers(0, 2**31),
+)
+def test_mixed_blocking_and_nonblocking(p, n_messages, seed):
+    rng = np.random.default_rng(seed)
+    dests = rng.integers(0, p, size=(p, n_messages))
+
+    def main(comm):
+        r = comm.rank
+        reqs = []
+        for i in range(n_messages):
+            if i % 2 == 0:
+                comm.send((r, i), int(dests[r][i]), tag=1)
+            else:
+                reqs.append(comm.isend((r, i), int(dests[r][i]), tag=1))
+        expected = int((dests == r).sum())
+        got = []
+        for _ in range(expected):
+            payload, _ = comm.recv(ANY_SOURCE, 1)
+            got.append(payload)
+        for req in reqs:
+            req.wait()
+        return len(got) == expected
+
+    assert all(runp(main, p).values)

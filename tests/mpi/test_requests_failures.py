@@ -1,0 +1,208 @@
+"""Raw non-blocking requests, ibarrier, failure injection, and ULFM substrate."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, SUM, FailureScript, RawProcessFailure, run_mpi
+from repro.mpi import testall as raw_testall
+from repro.mpi import waitall as raw_waitall
+from repro.mpi import waitany as raw_waitany
+from tests.conftest import runp
+
+
+def test_isend_irecv_roundtrip():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.arange(3), 1)
+            req.wait()
+            return None
+        req = comm.irecv(0)
+        payload, status = req.wait()
+        return payload.tolist(), status.source
+
+    assert runp(main, 2).values[1] == ([0, 1, 2], 0)
+
+
+def test_irecv_test_polls():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.irecv(1)
+            done, _ = req.test()
+            comm.send("go", 1)
+            while True:
+                done, value = req.test()
+                if done:
+                    payload, _ = value
+                    return payload
+        comm.recv(0)
+        comm.send("reply", 0)
+        return None
+
+    assert runp(main, 2).values[0] == "reply"
+
+
+def test_issend_completes_on_match():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.issend("sync", 1)
+            done, _ = req.test()  # may or may not be matched yet
+            req.wait()
+            return True
+        payload, _ = comm.recv(0)
+        return payload
+
+    res = runp(main, 2)
+    assert res.values == [True, "sync"]
+
+
+def test_waitall_testall_waitany():
+    def sender_main(comm):
+        if comm.rank == 0:
+            reqs = [comm.irecv(1, tag=t) for t in range(3)]
+            done, _ = raw_testall(reqs)  # all-or-nothing; may be False early
+            i, value = raw_waitany(reqs)
+            rest = raw_waitall([r for j, r in enumerate(reqs) if j != i])
+            got = [value[0]] + [payload for payload, _ in rest]
+            done_after, values_after = raw_testall(reqs)
+            assert done_after and len(values_after) == 3
+            return sorted(got)
+        for t in range(3):
+            comm.send(t * 10, 0, tag=t)
+        return None
+
+    res = runp(sender_main, 2)
+    assert res.values[0] == [0, 10, 20]
+
+
+def test_ibarrier_completes_for_all():
+    def main(comm):
+        req = comm.ibarrier()
+        req.wait()
+        req2 = comm.ibarrier()
+        while not req2.test()[0]:
+            pass
+        return True
+
+    assert all(runp(main, 4).values)
+
+
+def test_irecv_cancel():
+    def main(comm):
+        req = comm.irecv(ANY_SOURCE, tag=5)
+        req.cancel()
+        comm.barrier()
+        return True
+
+    assert all(runp(main, 2).values)
+
+
+# ---------------------------------------------------------------------------
+# failures
+# ---------------------------------------------------------------------------
+
+def test_recv_from_dead_rank_raises():
+    script = FailureScript({"start": {1}})
+
+    def main(comm):
+        script.checkpoint(comm, "start")
+        if comm.rank == 0:
+            try:
+                comm.recv(1)
+            except RawProcessFailure as exc:
+                return ("failed", exc.failed_ranks)
+        return "alive"
+
+    res = run_mpi(main, 3, deadline=5.0)
+    assert res.values[0] == ("failed", [1])
+    assert res.values[1] is None
+    assert res.failed == frozenset({1})
+
+
+def test_send_to_dead_rank_raises():
+    script = FailureScript({"start": {2}})
+
+    def main(comm):
+        script.checkpoint(comm, "start")
+        if comm.rank == 0:
+            import time
+
+            while not comm.failed_ranks():  # wait until the death is visible
+                time.sleep(0.01)
+            try:
+                comm.send("x", 2)
+            except RawProcessFailure:
+                return "detected"
+        return "ok"
+
+    res = run_mpi(main, 3, deadline=5.0)
+    assert res.values[0] == "detected"
+
+
+def test_collective_with_dead_rank_raises_for_participants():
+    script = FailureScript({"mid": {0}})
+
+    def main(comm):
+        total = comm.allreduce(1, SUM)
+        script.checkpoint(comm, "mid")
+        try:
+            comm.allreduce(1, SUM)
+            return (total, "second-ok")
+        except RawProcessFailure:
+            return (total, "second-failed")
+
+    res = run_mpi(main, 2, deadline=5.0)
+    assert res.values[1] == (2, "second-failed")
+
+
+def test_shrink_and_continue():
+    script = FailureScript({"mid": {1, 2}})
+
+    def main(comm):
+        script.checkpoint(comm, "mid")
+        shrunk = comm.shrink(generation=0)
+        return shrunk.size, shrunk.allreduce(1, SUM)
+
+    res = run_mpi(main, 5, deadline=10.0)
+    for r in (0, 3, 4):
+        assert res.values[r] == (3, 3)
+
+
+def test_agree_is_logical_and():
+    script = FailureScript({"mid": {3}})
+
+    def main(comm):
+        script.checkpoint(comm, "mid")
+        return comm.agree(comm.rank != 0, generation=0)
+
+    res = run_mpi(main, 4, deadline=10.0)
+    assert res.values[0] is False and res.values[1] is False
+
+
+def test_revoke_wakes_blocked_receivers():
+    def main(comm):
+        if comm.rank == 0:
+            comm.revoke()
+            return "revoked"
+        try:
+            comm.recv(0)  # would block forever
+        except Exception as exc:
+            return type(exc).__name__
+
+    res = run_mpi(main, 2, deadline=5.0)
+    assert res.values[1] == "RawCommRevoked"
+
+
+def test_failed_ranks_listing():
+    script = FailureScript({"go": {2}})
+
+    def main(comm):
+        script.checkpoint(comm, "go")
+        import time
+
+        deadline = time.time() + 3.0
+        while not comm.failed_ranks() and time.time() < deadline:
+            time.sleep(0.01)
+        return comm.failed_ranks()
+
+    res = run_mpi(main, 3, deadline=6.0)
+    assert res.values[0] == (2,)

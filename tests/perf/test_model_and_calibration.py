@@ -1,0 +1,167 @@
+"""The analytic performance model: calibration against the real generators
+and cross-validation against the executing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graphs.generators import generate_gnm, generate_rgg2d, generate_rhg
+from repro.mpi import CostModel
+from repro.perf import bfs_sweep, bfs_time, bfs_workload, exchange_cost, samplesort_sweep
+from repro.perf.families import LevelStats
+from repro.perf.samplesort_model import BINDINGS, samplesort_time
+
+CM = CostModel()
+
+
+class TestFamilyCalibration:
+    """The family models' parameters must match the actual generators."""
+
+    def test_gnm_partners_saturate(self):
+        p = 16
+        graphs = [generate_gnm(64, 512, p, r, seed=2) for r in range(0, p, 4)]
+        assert all(len(g.neighbor_ranks()) == p - 1 for g in graphs)
+        w = bfs_workload("gnm", p, 64, 16.0)
+        peak = max(w.levels, key=lambda s: s.frontier_per_rank)
+        assert peak.partners == p - 1
+
+    def test_rgg_partners_bounded(self):
+        p = 16
+        graphs = [generate_rgg2d(64, 8.0, p, r, seed=2) for r in range(p)]
+        measured = max(len(g.neighbor_ranks()) for g in graphs)
+        assert measured <= 8
+        w = bfs_workload("rgg", p, 64, 8.0)
+        assert all(s.partners <= 8 for s in w.levels)
+
+    def test_rhg_partner_growth_slow(self):
+        """RHG average partners grow ~log p (measured), hubs faster."""
+        avgs = {}
+        for p in (4, 16):
+            ks = [len(generate_rhg(64, 8.0, p, r, seed=2).neighbor_ranks())
+                  for r in range(0, p, max(p // 8, 1))]
+            avgs[p] = np.mean(ks)
+        assert avgs[16] < 4 * avgs[4]  # far from linear growth
+        w4, w16 = bfs_workload("rhg", 4), bfs_workload("rhg", 16)
+        assert max(s.partners for s in w16.levels) \
+            < 4 * max(s.partners for s in w4.levels) + 1
+
+    def test_cross_fraction_rgg(self):
+        p = 16
+        fracs = []
+        for r in range(p):
+            g = generate_rgg2d(64, 8.0, p, r, seed=2)
+            owners = np.array([g.owner(int(t)) for t in g.adjncy])
+            if len(owners):
+                fracs.append((owners != r).mean())
+        assert 0.02 < np.mean(fracs) < 0.25  # model uses 0.09
+
+    def test_workload_conserves_vertices(self):
+        for family in ("gnm", "rgg", "rhg"):
+            w = bfs_workload(family, 64, 256, 16.0)
+            total = sum(s.frontier_per_rank * s.active_fraction * w.p
+                        for s in w.levels)
+            assert total == pytest.approx(256 * 64, rel=0.35), family
+
+
+class TestStrategyCosts:
+    STATS = LevelStats(frontier_per_rank=100, cross_elems_per_rank=400,
+                       partners=6)
+
+    def test_direct_cost_linear_in_p(self):
+        c1 = exchange_cost("mpi", self.STATS, 64, CM)
+        c2 = exchange_cost("mpi", self.STATS, 256, CM)
+        assert c2 / c1 == pytest.approx(4.0, rel=0.15)
+
+    def test_grid_cost_sqrt_in_p(self):
+        c1 = exchange_cost("kamping_grid", self.STATS, 64, CM)
+        c2 = exchange_cost("kamping_grid", self.STATS, 256, CM)
+        assert c2 / c1 == pytest.approx(2.0, rel=0.3)
+
+    def test_sparse_cost_logarithmic_in_p(self):
+        c1 = exchange_cost("kamping_sparse", self.STATS, 64, CM)
+        c2 = exchange_cost("kamping_sparse", self.STATS, 4096, CM)
+        assert c2 < 3 * c1
+
+    def test_rebuild_strictly_worse_than_static(self):
+        for p in (16, 256, 4096):
+            assert exchange_cost("mpi_neighbor_rebuild", self.STATS, p, CM) \
+                > exchange_cost("mpi_neighbor", self.STATS, p, CM)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            exchange_cost("teleport", self.STATS, 4, CM)
+
+
+class TestFig10Shapes:
+    """The paper's qualitative Fig. 10 findings, at the paper's scale."""
+
+    P = 2**14
+
+    def _t(self, family, strategy):
+        return bfs_time(strategy, bfs_workload(family, self.P), CM)
+
+    def test_grid_most_scalable_on_rhg(self):
+        t = {s: self._t("rhg", s) for s in
+             ("mpi", "mpi_neighbor", "kamping_sparse", "kamping_grid")}
+        assert t["kamping_grid"] == min(t.values())
+        assert t["mpi"] == max(t.values())
+
+    def test_grid_wins_on_gnm(self):
+        assert self._t("gnm", "kamping_grid") < self._t("gnm", "mpi_neighbor")
+        assert self._t("gnm", "kamping_grid") < self._t("gnm", "mpi")
+
+    def test_rgg_needs_sparse_communication(self):
+        t_mpi = self._t("rgg", "mpi")
+        for s in ("mpi_neighbor", "kamping_sparse"):
+            assert self._t("rgg", s) < t_mpi / 20
+        # grid beats direct alltoallv but loses to sparse on RGG
+        assert self._t("rgg", "kamping_grid") < t_mpi
+        assert self._t("rgg", "kamping_sparse") < self._t("rgg", "kamping_grid")
+
+    def test_sparse_only_slightly_slower_than_neighbor(self):
+        for family in ("rgg", "rhg"):
+            ratio = self._t(family, "kamping_sparse") \
+                / self._t(family, "mpi_neighbor")
+            assert 0.9 < ratio < 2.5, family
+
+    def test_rebuild_does_not_scale(self):
+        small = bfs_time("mpi_neighbor_rebuild", bfs_workload("rgg", 64), CM) \
+            / bfs_time("mpi_neighbor", bfs_workload("rgg", 64), CM)
+        large = bfs_time("mpi_neighbor_rebuild", bfs_workload("rgg", self.P), CM) \
+            / bfs_time("mpi_neighbor", bfs_workload("rgg", self.P), CM)
+        assert large > 2 * small
+
+
+class TestFig8Shapes:
+    def test_all_near_mpi_except_mpl(self):
+        for p in (48, 3072):
+            t = {b: samplesort_time(b, p, 10**6, CM) for b in BINDINGS}
+            assert t["KaMPIng"] == t["MPI"]  # zero overhead by construction
+            assert t["RWTH-MPI"] == t["MPI"]
+            assert t["MPL"] > t["MPI"]
+            assert abs(t["Boost.MPI"] - t["MPI"]) < 0.25 * t["MPI"]
+
+    def test_mpl_gap_grows_with_p(self):
+        gap = {p: samplesort_time("MPL", p, 10**6, CM)
+               - samplesort_time("MPI", p, 10**6, CM)
+               for p in (48, 12288)}
+        assert gap[12288] > gap[48]
+
+
+class TestSweepSplicing:
+    def test_samplesort_sweep_mixes_sources(self):
+        pts = samplesort_sweep("KaMPIng", [2, 4, 256], 2000,
+                               simulator_max_p=4)
+        assert [pt.source for pt in pts] == ["simulated", "simulated", "model"]
+        assert all(pt.seconds > 0 for pt in pts)
+
+    def test_bfs_sweep_mixes_sources(self):
+        pts = bfs_sweep("rgg", "kamping", [2, 64], n_per_rank=32,
+                        simulator_max_p=4)
+        assert [pt.source for pt in pts] == ["simulated", "model"]
+
+    def test_model_vs_simulator_same_order_of_magnitude(self):
+        """Cross-validation: at p=16 the model and the executing simulator
+        agree within a small factor for the sample sort."""
+        sim = samplesort_sweep("MPI", [16], 20000, simulator_max_p=16)[0]
+        model = samplesort_sweep("MPI", [16], 20000, simulator_max_p=0)[0]
+        assert model.seconds == pytest.approx(sim.seconds, rel=0.6)
