@@ -30,7 +30,8 @@ SERIES: dict[tuple, list] = {}
 def test_fig10_bfs_weak_scaling(benchmark, family, strategy):
     def run_sweep():
         sim = bfs_sweep(family, strategy, SIM_PS, n_per_rank=64,
-                        avg_degree=8.0, simulator_max_p=max(SIM_PS))
+                        avg_degree=8.0, simulator_max_p=max(SIM_PS),
+                        trace=True)
         model = bfs_sweep(family, strategy, MODEL_PS, simulator_max_p=0)
         return sim + model
 
@@ -38,6 +39,13 @@ def test_fig10_bfs_weak_scaling(benchmark, family, strategy):
     SERIES[(family, strategy)] = points
     benchmark.extra_info["series"] = {pt.p: round(pt.seconds, 6)
                                       for pt in points}
+    # per-op byte columns from the structured trace (largest simulated p):
+    # the communication-volume fingerprint of each exchange strategy
+    traced = [pt for pt in points if pt.op_bytes]
+    if traced:
+        benchmark.extra_info["op_bytes"] = {
+            op: int(agg["bytes"]) for op, agg in traced[-1].op_bytes.items()
+        }
 
     if len(SERIES) == len(FAMILIES) * len(STRATEGIES):
         lines = []
@@ -54,6 +62,19 @@ def test_fig10_bfs_weak_scaling(benchmark, family, strategy):
         lines.append(f"(p ≤ {max(SIM_PS)}: executing simulator at 64 "
                      f"verts/rank; larger p: analytic model at the paper's "
                      f"2^12 verts / 2^15 edges per rank)")
+        lines.append("")
+        lines.append("total traced payload bytes per strategy (executing "
+                     f"simulator, p={max(SIM_PS)}):")
+        lines.append("strategy                " +
+                     "".join(f"{fam:>12}" for fam in FAMILIES))
+        for strat in STRATEGIES:
+            cells = []
+            for fam in FAMILIES:
+                traced = [pt for pt in SERIES[(fam, strat)] if pt.op_bytes]
+                total = (sum(a["bytes"] for a in traced[-1].op_bytes.values())
+                         if traced else 0)
+                cells.append(f"{int(total):>12}")
+            lines.append(f"{strat:<24}" + "".join(cells))
         from repro.reporting import ascii_chart
 
         for fam in FAMILIES:

@@ -24,7 +24,7 @@ SERIES: dict[str, list] = {}
 def test_fig8_weak_scaling(benchmark, binding):
     def run_sweep():
         sim = samplesort_sweep(binding, SIM_PS, n_per_rank=20_000,
-                               simulator_max_p=max(SIM_PS))
+                               simulator_max_p=max(SIM_PS), trace=True)
         model = samplesort_sweep(binding, MODEL_PS, n_per_rank=10**6,
                                  simulator_max_p=0)
         return sim + model
@@ -34,6 +34,12 @@ def test_fig8_weak_scaling(benchmark, binding):
     benchmark.extra_info["series"] = {
         pt.p: round(pt.seconds, 6) for pt in points
     }
+    # per-op byte columns from the structured trace (largest simulated p)
+    traced = [pt for pt in points if pt.op_bytes]
+    if traced:
+        benchmark.extra_info["op_bytes"] = {
+            op: int(agg["bytes"]) for op, agg in traced[-1].op_bytes.items()
+        }
 
     if len(SERIES) == len(BINDINGS):
         header = "binding     " + "".join(f"{pt.p:>9}" for pt in points)
@@ -50,8 +56,18 @@ def test_fig8_weak_scaling(benchmark, binding):
             b: [(pt.p, pt.seconds) for pt in pts if pt.source == "model"]
             for b, pts in SERIES.items()
         })
+        from repro.reporting import op_bytes_table
+
+        traced = [pt for pt in SERIES["KaMPIng"] if pt.op_bytes]
+        byte_profile = ""
+        if traced:
+            byte_profile = (
+                f"\n\ncommunication profile (KaMPIng, p={traced[-1].p}, "
+                f"from the structured trace):\n"
+                + op_bytes_table(traced[-1].op_bytes)
+            )
         report("Fig. 8 — sample sort weak scaling (simulated seconds)",
-               "\n".join(rows) + "\n\n" + chart)
+               "\n".join(rows) + "\n\n" + chart + byte_profile)
 
         # reproduced findings: KaMPIng == MPI at every scale; MPL slower
         for (pt_mpi, pt_kamping, pt_mpl) in zip(

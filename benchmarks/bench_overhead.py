@@ -104,19 +104,42 @@ def test_wrapper_wall_overhead_and_plan_cache_ablation(benchmark):
 
 
 def test_pmpi_no_hidden_calls(benchmark):
-    """No hidden communication: explicit parameters ⇒ exactly one raw call."""
-    from repro.mpi import expect_calls
+    """No hidden communication: explicit parameters ⇒ exactly one raw call
+    per wrapped call, and — via the structured trace — exactly the same
+    bytes a hand-written raw loop would move (zero hidden volume)."""
+    from repro.mpi import calls, expect_calls
+
+    iters, p, block = 20, 4, 4
+    block_bytes = block * 8
 
     def main(raw):
         comm = Communicator(raw)
-        v = np.arange(4, dtype=np.int64)
-        counts = [4] * raw.size
-        with expect_calls(raw, allgatherv=20):
-            for _ in range(20):
+        v = np.arange(block, dtype=np.int64)
+        counts = [block] * raw.size
+        with expect_calls(raw,
+                          allgatherv=calls(iters,
+                                           sent=iters * block_bytes,
+                                           recvd=iters * p * block_bytes,
+                                           peers=range(p))):
+            for _ in range(iters):
                 comm.allgatherv(send_buf(v), recv_counts(counts))
         return True
 
     def run():
-        return all(run_mpi(main, 4).values)
+        res = run_mpi(main, p, trace=True)
+        return res
 
-    assert benchmark.pedantic(run, rounds=1, iterations=1)
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(res.values)
+    totals = res.op_bytes()
+    benchmark.extra_info["op_bytes"] = {
+        op: int(agg["bytes"]) for op, agg in totals.items()
+    }
+    # the wrapped loop's entire footprint is the allgatherv payloads
+    assert set(totals) == {"allgatherv"}
+    assert totals["allgatherv"]["sent"] == p * iters * block_bytes
+    from repro.reporting import op_bytes_table
+
+    report("§III-H — no hidden calls, no hidden bytes",
+           f"20 wrapped allgatherv calls, p=4, explicit counts:\n"
+           + op_bytes_table(totals))

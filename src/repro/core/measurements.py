@@ -52,14 +52,25 @@ class Timer:
         self._stack.append((name, self._now()))
 
     def stop(self) -> float:
-        """Stop the innermost running timer; returns the elapsed seconds."""
+        """Stop the innermost running timer; returns the elapsed seconds.
+
+        When the run is traced, each stop also records a ``timer:<key>``
+        span in the machine's :class:`~repro.mpi.tracing.TraceRecorder`, so
+        named phases show up alongside the raw MPI events in the Chrome
+        trace.
+        """
         if not self._stack:
             raise UsageError("stop() without a running timer")
         name, began = self._stack.pop()
         key = ".".join([n for n, _ in self._stack] + [name])
-        elapsed = self._now() - began
+        now = self._now()
+        elapsed = now - began
         self._totals[key] = self._totals.get(key, 0.0) + elapsed
         self._counts[key] = self._counts.get(key, 0) + 1
+        raw = self.comm.raw
+        tracer = raw.machine.tracer
+        if tracer.enabled:
+            tracer.record(raw, f"timer:{key}", t_start=began, t_end=now)
         return elapsed
 
     def stop_and_append(self) -> float:

@@ -7,22 +7,26 @@ from typing import Any, Callable, Optional, Sequence, Type
 from repro.core.communicator import Communicator
 from repro.mpi.costmodel import CostModel
 from repro.mpi.machine import RunResult, run_mpi
+from repro.mpi.tracing import TraceRecorder
 
 
 def run(fn: Callable[..., Any], num_ranks: int, *,
         args: Sequence[Any] = (),
         cost_model: Optional[CostModel] = None,
         deadline: float = 120.0,
-        comm_class: Type[Communicator] = Communicator) -> RunResult:
+        comm_class: Type[Communicator] = Communicator,
+        trace: bool | TraceRecorder = False) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
     :class:`~repro.core.communicator.Communicator` (optionally a plugin-
     extended subclass via ``comm_class``) instead of the raw handle.
+    ``trace=True`` records the structured communication trace
+    (:class:`~repro.mpi.tracing.TraceRecorder`) as ``result.trace``.
     """
 
     def entry(raw, *fn_args):
         return fn(comm_class(raw), *fn_args)
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
-                   deadline=deadline)
+                   deadline=deadline, trace=trace)

@@ -39,6 +39,13 @@ from repro.mpi.ops import (
 from repro.mpi.p2p import Status
 from repro.mpi.profiling import call_delta, expect_calls, snapshot
 from repro.mpi.requests import RawRequest, testall, waitall, waitany
+from repro.mpi.tracing import (
+    NULL_TRACER,
+    CallSpec,
+    TraceEvent,
+    TraceRecorder,
+    calls,
+)
 
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "IN_PLACE", "PROC_NULL",
@@ -51,4 +58,5 @@ __all__ = [
     "RawProcessFailure", "RawCommRevoked", "ProcessKilled",
     "FailureScript", "no_failures",
     "expect_calls", "call_delta", "snapshot",
+    "TraceRecorder", "TraceEvent", "CallSpec", "calls", "NULL_TRACER",
 ]

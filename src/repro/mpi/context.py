@@ -36,6 +36,12 @@ from repro.mpi.requests import (
     RecvRequest,
     SyncSendRequest,
 )
+from repro.mpi.tracing import _NULL_SPAN, _sum_payload_bytes
+
+
+def _peer(rank: int) -> tuple[int, ...]:
+    """Peer tuple for a possibly-sentinel rank (wildcards/PROC_NULL: empty)."""
+    return (rank,) if rank >= 0 else ()
 
 
 class RawComm:
@@ -79,6 +85,21 @@ class RawComm:
 
     def _count(self, op: str) -> None:
         self.machine.profile[self.world_rank][op] += 1
+
+    def _span(self, op: str, *, peers=(), tag=None, payload=None, sent=0):
+        """Open a trace span for one raw operation.
+
+        Returns the shared no-op span when tracing is disabled, so untraced
+        runs never size payloads and the virtual clocks stay untouched.
+        ``peers`` holds communicator-local ranks, or the string ``"all"``
+        for symmetric collectives (resolved lazily to all members).
+        """
+        tracer = self.machine.tracer
+        if not tracer.enabled:
+            return _NULL_SPAN
+        if payload is not None:
+            sent = _sum_payload_bytes(payload)
+        return tracer.span(self, op, peers=peers, tag=tag, sent=sent)
 
     def _check_usable(self) -> None:
         if self.state.revoked.is_set():
@@ -147,7 +168,8 @@ class RawComm:
         self._check_usable()
         if dest == PROC_NULL:
             return
-        self._send(payload, dest, validate_user_tag(tag))
+        with self._span("send", peers=(dest,), tag=tag, payload=payload):
+            self._send(payload, dest, validate_user_tag(tag))
 
     def ssend(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Synchronous send: returns only once the receiver matched the message."""
@@ -155,8 +177,9 @@ class RawComm:
         self._check_usable()
         if dest == PROC_NULL:
             return
-        env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
-        SyncSendRequest(env, self.clock, self.machine.deadline).wait()
+        with self._span("ssend", peers=(dest,), tag=tag, payload=payload):
+            env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
+            SyncSendRequest(env, self.clock, self.machine.deadline).wait()
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
         """Non-blocking standard send (buffered: completes immediately)."""
@@ -164,7 +187,8 @@ class RawComm:
         self._check_usable()
         if dest == PROC_NULL:
             return CompletedRequest()
-        self._send(payload, dest, validate_user_tag(tag))
+        with self._span("isend", peers=(dest,), tag=tag, payload=payload):
+            self._send(payload, dest, validate_user_tag(tag))
         return CompletedRequest()
 
     def issend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
@@ -173,7 +197,8 @@ class RawComm:
         self._check_usable()
         if dest == PROC_NULL:
             return CompletedRequest()
-        env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
+        with self._span("issend", peers=(dest,), tag=tag, payload=payload):
+            env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
         return SyncSendRequest(env, self.clock, self.machine.deadline)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
@@ -184,7 +209,10 @@ class RawComm:
             return None, Status(PROC_NULL, tag, 0)
         if source != ANY_SOURCE:
             self._check_peer(source)
-        return self._recv(source, validate_user_tag(tag))
+        with self._span("recv", peers=_peer(source), tag=tag) as sp:
+            payload, status = self._recv(source, validate_user_tag(tag))
+            sp.set(peers=(status.source,), tag=status.tag, recvd=status.nbytes)
+        return payload, status
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         """Non-blocking receive."""
@@ -192,15 +220,18 @@ class RawComm:
         self._check_usable()
         if source != ANY_SOURCE:
             self._check_peer(source)
-        mb = self.state.mailboxes[self._rank]
-        pr = mb.post(source, validate_user_tag(tag), self.clock.now)
+        with self._span("irecv", peers=_peer(source), tag=tag):
+            mb = self.state.mailboxes[self._rank]
+            pr = mb.post(source, validate_user_tag(tag), self.clock.now)
         return RecvRequest(mb, pr, self.clock)
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait for a matching message without receiving it."""
         self._count("probe")
         self._check_usable()
-        env = self.state.mailboxes[self._rank].probe(source, validate_user_tag(tag))
+        with self._span("probe", peers=_peer(source), tag=tag) as sp:
+            env = self.state.mailboxes[self._rank].probe(source, validate_user_tag(tag))
+            sp.set(peers=(env.source,), tag=env.tag)
         return Status(env.source, env.tag, env.nbytes)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -208,7 +239,10 @@ class RawComm:
         """Non-blocking probe."""
         self._count("iprobe")
         self._check_usable()
-        env = self.state.mailboxes[self._rank].iprobe(source, validate_user_tag(tag))
+        with self._span("iprobe", peers=_peer(source), tag=tag) as sp:
+            env = self.state.mailboxes[self._rank].iprobe(source, validate_user_tag(tag))
+            if env is not None:
+                sp.set(peers=(env.source,), tag=env.tag)
         if env is None:
             return False, None
         return True, Status(env.source, env.tag, env.nbytes)
@@ -219,16 +253,18 @@ class RawComm:
         """Dissemination barrier."""
         self._count("barrier")
         self._check_usable()
-        _coll.barrier(self)
+        with self._span("barrier", peers="all"):
+            _coll.barrier(self)
 
     def ibarrier(self) -> RawRequest:
         """Non-blocking barrier."""
         self._count("ibarrier")
         self._check_usable()
-        epoch = self._ibarrier_epoch
-        self._ibarrier_epoch += 1
-        self.clock.charge_overhead()
-        ticket = self.state.barrier.arrive(epoch, self.clock.now)
+        with self._span("ibarrier", peers="all"):
+            epoch = self._ibarrier_epoch
+            self._ibarrier_epoch += 1
+            self.clock.charge_overhead()
+            ticket = self.state.barrier.arrive(epoch, self.clock.now)
         return CounterBarrierRequest(
             self.state.barrier, ticket, self.clock, self.machine.deadline
         )
@@ -238,48 +274,78 @@ class RawComm:
     def bcast(self, payload: Any, root: int = 0) -> Any:
         self._count("bcast")
         self._check_usable()
-        return _coll.bcast(self, payload, root)
+        with self._span("bcast", peers=(root,),
+                        payload=payload if self._rank == root else None) as sp:
+            out = _coll.bcast(self, payload, root)
+            if self._rank != root:
+                sp.set(recvd_payload=out)
+        return out
 
     def gather(self, payload: Any, root: int = 0) -> Optional[list]:
         self._count("gather")
         self._check_usable()
-        return _coll.gather(self, payload, root)
+        with self._span("gather", peers=(root,), payload=payload) as sp:
+            out = _coll.gather(self, payload, root)
+            if out is not None:
+                sp.set(recvd_payload=out)
+        return out
 
     def gatherv(self, sendbuf: np.ndarray, recvcounts: Optional[Sequence[int]],
                 root: int = 0) -> Optional[np.ndarray]:
         """Variable gather.  ``recvcounts`` is required at the root (C semantics)."""
         self._count("gatherv")
         self._check_usable()
-        return _coll.gatherv(self, sendbuf, recvcounts, root)
+        with self._span("gatherv", peers=(root,), payload=sendbuf) as sp:
+            out = _coll.gatherv(self, sendbuf, recvcounts, root)
+            if out is not None:
+                sp.set(recvd_payload=out)
+        return out
 
     def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Any:
         self._count("scatter")
         self._check_usable()
-        return _coll.scatter(self, payloads, root)
+        with self._span("scatter", peers=(root,),
+                        payload=payloads if self._rank == root else None) as sp:
+            out = _coll.scatter(self, payloads, root)
+            sp.set(recvd_payload=out)
+        return out
 
     def scatterv(self, sendbuf: Optional[np.ndarray],
                  sendcounts: Optional[Sequence[int]], root: int = 0) -> np.ndarray:
         self._count("scatterv")
         self._check_usable()
-        return _coll.scatterv(self, sendbuf, sendcounts, root)
+        with self._span("scatterv", peers=(root,),
+                        payload=sendbuf if self._rank == root else None) as sp:
+            out = _coll.scatterv(self, sendbuf, sendcounts, root)
+            sp.set(recvd_payload=out)
+        return out
 
     def allgather(self, payload: Any) -> list:
         """Allgather of one payload per rank (Bruck's algorithm: ⌈log p⌉ rounds)."""
         self._count("allgather")
         self._check_usable()
-        return _coll.allgather(self, payload)
+        with self._span("allgather", peers="all", payload=payload) as sp:
+            out = _coll.allgather(self, payload)
+            sp.set(recvd_payload=out)
+        return out
 
     def allgatherv(self, sendbuf: np.ndarray,
                    recvcounts: Sequence[int]) -> np.ndarray:
         """Variable allgather.  ``recvcounts`` is required on all ranks (C semantics)."""
         self._count("allgatherv")
         self._check_usable()
-        return _coll.allgatherv(self, sendbuf, recvcounts)
+        with self._span("allgatherv", peers="all", payload=sendbuf) as sp:
+            out = _coll.allgatherv(self, sendbuf, recvcounts)
+            sp.set(recvd_payload=out)
+        return out
 
     def alltoall(self, payloads: Sequence[Any]) -> list:
         self._count("alltoall")
         self._check_usable()
-        return _coll.alltoall(self, payloads)
+        with self._span("alltoall", peers="all", payload=payloads) as sp:
+            out = _coll.alltoall(self, payloads)
+            sp.set(recvd_payload=out)
+        return out
 
     def alltoallv(self, sendbuf: np.ndarray, sendcounts: Sequence[int],
                   recvcounts: Sequence[int]) -> np.ndarray:
@@ -290,7 +356,10 @@ class RawComm:
         """
         self._count("alltoallv")
         self._check_usable()
-        return _coll.alltoallv(self, sendbuf, sendcounts, recvcounts)
+        with self._span("alltoallv", peers="all", payload=sendbuf) as sp:
+            out = _coll.alltoallv(self, sendbuf, sendcounts, recvcounts)
+            sp.set(recvd_payload=out)
+        return out
 
     def alltoallw(self, send_blocks: Sequence[Any]) -> list:
         """All-to-all with per-block derived datatypes.
@@ -301,29 +370,45 @@ class RawComm:
         """
         self._count("alltoallw")
         self._check_usable()
-        return _coll.alltoallw(self, send_blocks)
+        with self._span("alltoallw", peers="all", payload=send_blocks) as sp:
+            out = _coll.alltoallw(self, send_blocks)
+            sp.set(recvd_payload=out)
+        return out
 
     def reduce(self, value: Any, op: Op, root: int = 0) -> Any:
         self._count("reduce")
         self._check_usable()
-        return _coll.reduce(self, value, op, root)
+        with self._span("reduce", peers=(root,), payload=value) as sp:
+            out = _coll.reduce(self, value, op, root)
+            if self._rank == root:
+                sp.set(recvd_payload=out)
+        return out
 
     def allreduce(self, value: Any, op: Op) -> Any:
         self._count("allreduce")
         self._check_usable()
-        return _coll.allreduce(self, value, op)
+        with self._span("allreduce", peers="all", payload=value) as sp:
+            out = _coll.allreduce(self, value, op)
+            sp.set(recvd_payload=out)
+        return out
 
     def scan(self, value: Any, op: Op) -> Any:
         """Inclusive prefix reduction."""
         self._count("scan")
         self._check_usable()
-        return _coll.scan(self, value, op)
+        with self._span("scan", peers="all", payload=value) as sp:
+            out = _coll.scan(self, value, op)
+            sp.set(recvd_payload=out)
+        return out
 
     def exscan(self, value: Any, op: Op) -> Any:
         """Exclusive prefix reduction (undefined — here: identity — on rank 0)."""
         self._count("exscan")
         self._check_usable()
-        return _coll.exscan(self, value, op)
+        with self._span("exscan", peers="all", payload=value) as sp:
+            out = _coll.exscan(self, value, op)
+            sp.set(recvd_payload=out)
+        return out
 
     # -- non-blocking collectives (MPI-3) -----------------------------------------
 
@@ -351,13 +436,21 @@ class RawComm:
         """Exchange one payload with each topology neighbor."""
         self._count("neighbor_alltoall")
         self._check_usable()
-        return _coll.neighbor_alltoall(self, payloads)
+        with self._span("neighbor_alltoall", peers="neighbors",
+                        payload=payloads) as sp:
+            out = _coll.neighbor_alltoall(self, payloads)
+            sp.set(recvd_payload=out)
+        return out
 
     def neighbor_alltoallv(self, sendbuf: np.ndarray, sendcounts: Sequence[int],
                            recvcounts: Sequence[int]) -> np.ndarray:
         self._count("neighbor_alltoallv")
         self._check_usable()
-        return _coll.neighbor_alltoallv(self, sendbuf, sendcounts, recvcounts)
+        with self._span("neighbor_alltoallv", peers="neighbors",
+                        payload=sendbuf) as sp:
+            out = _coll.neighbor_alltoallv(self, sendbuf, sendcounts, recvcounts)
+            sp.set(recvd_payload=out)
+        return out
 
     @property
     def topology(self) -> Optional[tuple[tuple[int, ...], tuple[int, ...]]]:
@@ -366,17 +459,25 @@ class RawComm:
             return None
         return self.state.topology.get(self._rank)
 
+    def _neighbor_peers(self) -> tuple[int, ...]:
+        """Union of this rank's topology sources and destinations (local ranks)."""
+        topo = self.topology
+        if topo is None:
+            return ()
+        return tuple(sorted(set(topo[0]) | set(topo[1])))
+
     # -- communicator management -------------------------------------------------
 
     def dup(self) -> "RawComm":
         """Duplicate the communicator (collective)."""
         self._count("comm_dup")
         self._check_usable()
-        seq = self._mgmt_seq
-        self._mgmt_seq += 1
-        new_id = (self.comm_id, "dup", seq)
-        state = self.machine.get_or_create_comm(new_id, self.state.members)
-        _coll.barrier(self)  # dup is collective; synchronize like real MPI
+        with self._span("comm_dup", peers="all"):
+            seq = self._mgmt_seq
+            self._mgmt_seq += 1
+            new_id = (self.comm_id, "dup", seq)
+            state = self.machine.get_or_create_comm(new_id, self.state.members)
+            _coll.barrier(self)  # dup is collective; synchronize like real MPI
         return RawComm(self.machine, state, self.world_rank)
 
     def split(self, color: Optional[int], key: Optional[int] = None
@@ -387,6 +488,11 @@ class RawComm:
         """
         self._count("comm_split")
         self._check_usable()
+        with self._span("comm_split", peers="all"):
+            return self._split(color, key)
+
+    def _split(self, color: Optional[int], key: Optional[int]
+               ) -> Optional["RawComm"]:
         seq = self._mgmt_seq
         self._mgmt_seq += 1
         entries = _coll.allgather(
@@ -408,14 +514,16 @@ class RawComm:
         """Create a neighborhood-topology communicator (``MPI_Dist_graph_create_adjacent``)."""
         self._count("dist_graph_create_adjacent")
         self._check_usable()
-        seq = self._mgmt_seq
-        self._mgmt_seq += 1
-        new_id = (self.comm_id, "graph", seq)
-        state = self.machine.get_or_create_comm(new_id, self.state.members, topology={})
-        state.topology[self._rank] = (tuple(sources), tuple(destinations))
-        # Graph creation is collective and costs at least a barrier; real
-        # implementations additionally build routing tables (Θ(α·log p)).
-        _coll.barrier(self)
+        with self._span("dist_graph_create_adjacent", peers="all"):
+            seq = self._mgmt_seq
+            self._mgmt_seq += 1
+            new_id = (self.comm_id, "graph", seq)
+            state = self.machine.get_or_create_comm(new_id, self.state.members,
+                                                    topology={})
+            state.topology[self._rank] = (tuple(sources), tuple(destinations))
+            # Graph creation is collective and costs at least a barrier; real
+            # implementations additionally build routing tables (Θ(α·log p)).
+            _coll.barrier(self)
         return RawComm(self.machine, state, self.world_rank)
 
     # -- one-sided communication ---------------------------------------------------
@@ -428,7 +536,8 @@ class RawComm:
         self._check_usable()
         seq = self._mgmt_seq
         self._mgmt_seq += 1
-        return RawWindow(self, local, (self.comm_id, "win", seq))
+        with self._span("win_create", peers="all"):
+            return RawWindow(self, local, (self.comm_id, "win", seq))
 
     # -- failure handling (substrate for the ULFM plugin) -------------------------
 
@@ -441,7 +550,8 @@ class RawComm:
     def revoke(self) -> None:
         """ULFM ``MPI_Comm_revoke``: mark the communicator unusable everywhere."""
         self._count("comm_revoke")
-        self.state.revoked.set()
+        with self._span("comm_revoke", peers="all"):
+            self.state.revoked.set()
 
     @property
     def is_revoked(self) -> bool:
@@ -457,14 +567,20 @@ class RawComm:
     def shrink(self, generation: Hashable = 0) -> "RawComm":
         """ULFM ``MPI_Comm_shrink``: agree on survivors, build a new communicator."""
         self._count("comm_shrink")
-        alive = self.machine.shrink_rendezvous(self.state, generation, self.world_rank)
-        new_id = (self.comm_id, "shrink", generation, alive)
-        state = self.machine.get_or_create_comm(new_id, alive)
+        with self._span("comm_shrink", peers="all"):
+            alive = self.machine.shrink_rendezvous(self.state, generation,
+                                                   self.world_rank)
+            new_id = (self.comm_id, "shrink", generation, alive)
+            state = self.machine.get_or_create_comm(new_id, alive)
         return RawComm(self.machine, state, self.world_rank)
 
     def agree(self, flag: bool, generation: Hashable = 0) -> bool:
         """ULFM ``MPI_Comm_agree`` (restricted to alive members): logical AND."""
         self._count("comm_agree")
+        with self._span("comm_agree", peers="all"):
+            return self._agree(flag, generation)
+
+    def _agree(self, flag: bool, generation: Hashable) -> bool:
         key = ("agree", generation)
         alive = self.machine.shrink_rendezvous(self.state, key, self.world_rank)
         # Exchange flags among survivors through machine-level coordination.

@@ -16,6 +16,7 @@ from repro.mpi.costmodel import Clock, CostModel
 from repro.mpi.errors import ProcessKilled, RawDeadlockError, RawUsageError
 from repro.mpi.p2p import Mailbox
 from repro.mpi.requests import ArrivalBarrier
+from repro.mpi.tracing import NULL_TRACER, NullTraceRecorder, TraceRecorder
 
 WORLD_ID: Hashable = "world"
 
@@ -69,6 +70,8 @@ class RunResult:
     #: world ranks that died during the run
     failed: frozenset[int] = frozenset()
     machine: Optional["Machine"] = None
+    #: structured event trace (``None`` unless the run enabled tracing)
+    trace: Optional[TraceRecorder] = None
 
     @property
     def max_time(self) -> float:
@@ -79,12 +82,28 @@ class RunResult:
         """Total number of raw calls of kind ``op`` across ranks."""
         return sum(c.get(op, 0) for c in self.counts)
 
+    def op_bytes(self) -> dict[str, dict[str, float]]:
+        """Per-op ``{calls, sent, recvd, bytes, seconds}`` aggregates.
+
+        Empty when the run was not traced (``run_mpi(..., trace=True)``).
+        """
+        return self.trace.per_op_totals() if self.trace is not None else {}
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """Chrome trace-event JSON of the run (requires ``trace=True``)."""
+        if self.trace is None:
+            raise RawUsageError(
+                "chrome_trace() requires running with trace=True"
+            )
+        return self.trace.to_chrome_trace()
+
 
 class Machine:
     """An in-process parallel machine with ``num_ranks`` rank threads."""
 
     def __init__(self, num_ranks: int, cost_model: Optional[CostModel] = None,
-                 deadline: float = 120.0):
+                 deadline: float = 120.0,
+                 tracer: Optional[TraceRecorder] = None):
         if num_ranks < 1:
             raise RawUsageError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
@@ -92,6 +111,10 @@ class Machine:
         self.deadline = deadline
         self.clocks = [Clock(self.cost_model) for _ in range(num_ranks)]
         self.profile: list[Counter] = [Counter() for _ in range(num_ranks)]
+        #: structured event recorder; the no-op singleton unless tracing is on
+        self.tracer: TraceRecorder | NullTraceRecorder = (
+            tracer if tracer is not None else NULL_TRACER
+        )
         self._registry_lock = threading.Lock()
         self._comms: dict[Hashable, CommState] = {}
         self._failed: set[int] = set()
@@ -167,16 +190,30 @@ class Machine:
 def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
-            deadline: float = 120.0) -> RunResult:
+            deadline: float = 120.0,
+            trace: bool | TraceRecorder = False) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
     (:class:`~repro.mpi.context.RawComm`).  Exceptions other than injected
     process failures are re-raised in the caller, annotated with the rank.
+
+    ``trace=True`` records a structured per-rank event trace (one event per
+    raw MPI call) available as ``result.trace``; pass an existing
+    :class:`~repro.mpi.tracing.TraceRecorder` to share one across runs.
     """
     from repro.mpi.context import RawComm
 
-    machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline)
+    tracer: Optional[TraceRecorder]
+    if isinstance(trace, TraceRecorder):
+        tracer = trace
+    elif trace:
+        tracer = TraceRecorder(num_ranks)
+    else:
+        tracer = None
+
+    machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline,
+                      tracer=tracer)
     values: list[Any] = [None] * num_ranks
     errors: list[Optional[BaseException]] = [None] * num_ranks
 
@@ -218,4 +255,5 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
         compute_seconds=[c.compute_seconds for c in machine.clocks],
         failed=machine.failed_snapshot(),
         machine=machine,
+        trace=tracer,
     )

@@ -240,7 +240,9 @@ def ibcast(comm, payload: Any, root: int = 0) -> IBcastRequest:
     comm._count("ibcast")
     comm._check_usable()
     tag = comm._next_coll_tag(CODE_IBCAST)
-    return IBcastRequest(comm, payload, root, tag)
+    with comm._span("ibcast", peers=(root,), tag=tag,
+                    payload=payload if comm.rank == root else None):
+        return IBcastRequest(comm, payload, root, tag)
 
 
 def iallreduce(comm, value: Any, op: Op) -> IAllreduceRequest:
@@ -248,7 +250,8 @@ def iallreduce(comm, value: Any, op: Op) -> IAllreduceRequest:
     comm._count("iallreduce")
     comm._check_usable()
     tag = comm._next_coll_tag(CODE_IALLREDUCE)
-    return IAllreduceRequest(comm, value, op, tag)
+    with comm._span("iallreduce", peers="all", tag=tag, payload=value):
+        return IAllreduceRequest(comm, value, op, tag)
 
 
 def iallgather(comm, payload: Any) -> IAllgatherRequest:
@@ -256,4 +259,5 @@ def iallgather(comm, payload: Any) -> IAllgatherRequest:
     comm._count("iallgather")
     comm._check_usable()
     tag = comm._next_coll_tag(CODE_IALLGATHER)
-    return IAllgatherRequest(comm, payload, tag)
+    with comm._span("iallgather", peers="all", tag=tag, payload=payload):
+        return IAllgatherRequest(comm, payload, tag)

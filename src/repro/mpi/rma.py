@@ -77,7 +77,8 @@ class RawWindow:
         self.comm._count("win_fence")
         from repro.mpi import collectives
 
-        collectives.barrier(self.comm)
+        with self.comm._span("win_fence", peers="all"):
+            collectives.barrier(self.comm)
 
     # -- passive target locks ----------------------------------------------------
 
@@ -86,7 +87,7 @@ class RawWindow:
         self.comm._count("win_lock")
         me = self.comm.rank
         st = self._state
-        with st.lock_cond:
+        with self.comm._span("win_lock", peers=(target,)), st.lock_cond:
             if exclusive:
                 while (st.exclusive_holder[target] is not None
                        or st.shared_count[target] > 0):
@@ -102,7 +103,7 @@ class RawWindow:
         self.comm._count("win_unlock")
         me = self.comm.rank
         st = self._state
-        with st.lock_cond:
+        with self.comm._span("win_unlock", peers=(target,)), st.lock_cond:
             if st.exclusive_holder[target] == me:
                 st.exclusive_holder[target] = None
             elif st.shared_count[target] > 0:
@@ -135,9 +136,10 @@ class RawWindow:
                 f"put of {len(data)} elements at offset {offset} exceeds the "
                 f"target window of size {len(arr)}"
             )
-        with self._state.locks[target]:
-            arr[offset: offset + len(data)] = data
-        self._charge(data.nbytes)
+        with self.comm._span("win_put", peers=(target,), sent=int(data.nbytes)):
+            with self._state.locks[target]:
+                arr[offset: offset + len(data)] = data
+            self._charge(data.nbytes)
 
     def get(self, target: int, offset: int = 0,
             count: Optional[int] = None) -> np.ndarray:
@@ -150,9 +152,11 @@ class RawWindow:
                 f"get of {count} elements at offset {offset} exceeds the "
                 f"target window of size {len(arr)}"
             )
-        with self._state.locks[target]:
-            out = arr[offset: offset + count].copy()
-        self._charge(out.nbytes)
+        with self.comm._span("win_get", peers=(target,)) as sp:
+            with self._state.locks[target]:
+                out = arr[offset: offset + count].copy()
+            self._charge(out.nbytes)
+            sp.set(recvd=int(out.nbytes))
         return out
 
     def accumulate(self, data: np.ndarray, target: int, offset: int = 0,
@@ -166,21 +170,26 @@ class RawWindow:
                 f"accumulate of {len(data)} elements at offset {offset} "
                 f"exceeds the target window of size {len(arr)}"
             )
-        with self._state.locks[target]:
-            arr[offset: offset + len(data)] = op(
-                arr[offset: offset + len(data)], data
-            )
-        self._charge(data.nbytes)
+        with self.comm._span("win_accumulate", peers=(target,),
+                             sent=int(data.nbytes)):
+            with self._state.locks[target]:
+                arr[offset: offset + len(data)] = op(
+                    arr[offset: offset + len(data)], data
+                )
+            self._charge(data.nbytes)
 
     def fetch_and_op(self, value: Any, target: int, offset: int,
                      op: Op = SUM) -> Any:
         """Atomic read-modify-write of one element (``MPI_Fetch_and_op``)."""
         self.comm._count("win_fetch_and_op")
         arr = self._target_array(target)
-        with self._state.locks[target]:
-            old = arr[offset].item()
-            arr[offset] = op(arr[offset], value)
-        self._charge(int(arr.itemsize))
+        with self.comm._span("win_fetch_and_op", peers=(target,),
+                             sent=int(arr.itemsize)) as sp:
+            with self._state.locks[target]:
+                old = arr[offset].item()
+                arr[offset] = op(arr[offset], value)
+            self._charge(int(arr.itemsize))
+            sp.set(recvd=int(arr.itemsize))
         return old
 
     def compare_and_swap(self, value: Any, compare: Any, target: int,
@@ -188,11 +197,14 @@ class RawWindow:
         """Atomic CAS of one element (``MPI_Compare_and_swap``)."""
         self.comm._count("win_compare_and_swap")
         arr = self._target_array(target)
-        with self._state.locks[target]:
-            old = arr[offset].item()
-            if old == compare:
-                arr[offset] = value
-        self._charge(int(arr.itemsize))
+        with self.comm._span("win_compare_and_swap", peers=(target,),
+                             sent=int(arr.itemsize)) as sp:
+            with self._state.locks[target]:
+                old = arr[offset].item()
+                if old == compare:
+                    arr[offset] = value
+            self._charge(int(arr.itemsize))
+            sp.set(recvd=int(arr.itemsize))
         return old
 
     def free(self) -> None:
@@ -200,4 +212,5 @@ class RawWindow:
         self.comm._count("win_free")
         from repro.mpi import collectives
 
-        collectives.barrier(self.comm)
+        with self.comm._span("win_free", peers="all"):
+            collectives.barrier(self.comm)

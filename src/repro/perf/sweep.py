@@ -38,13 +38,20 @@ class SweepPoint:
     seconds: float
     #: "simulated" (executing runtime, virtual clock) or "model" (analytic)
     source: str
+    #: per-op ``{calls, sent, recvd, bytes, seconds}`` aggregates from the
+    #: structured trace; only populated for simulated points of traced sweeps
+    op_bytes: Optional[dict] = None
 
 
 def samplesort_sweep(binding: str, ps: Sequence[int], n_per_rank: int,
                      cost_model: Optional[CostModel] = None,
-                     simulator_max_p: int = SIMULATOR_MAX_P
-                     ) -> list[SweepPoint]:
-    """Fig. 8 series for one binding: simulate small p, model large p."""
+                     simulator_max_p: int = SIMULATOR_MAX_P,
+                     trace: bool = False) -> list[SweepPoint]:
+    """Fig. 8 series for one binding: simulate small p, model large p.
+
+    ``trace=True`` records the structured communication trace for the
+    simulated points and attaches per-op byte aggregates to each point.
+    """
     cm = cost_model if cost_model is not None else CostModel()
     impl, wrap = SAMPLE_SORT_IMPLS[binding]
     points = []
@@ -56,8 +63,9 @@ def samplesort_sweep(binding: str, ps: Sequence[int], n_per_rank: int,
                 impl(wrap(comm.raw) if binding != "KaMPIng" else comm, data)
                 return None
 
-            result = run(entry, p, cost_model=cm)
-            points.append(SweepPoint(p, result.max_time, "simulated"))
+            result = run(entry, p, cost_model=cm, trace=trace)
+            points.append(SweepPoint(p, result.max_time, "simulated",
+                                     result.op_bytes() if trace else None))
         else:
             points.append(
                 SweepPoint(p, samplesort_time(binding, p, n_per_rank, cm),
@@ -79,7 +87,8 @@ def bfs_sweep(family: str, strategy: str, ps: Sequence[int],
               cost_model: Optional[CostModel] = None,
               simulator_max_p: int = SIMULATOR_MAX_P,
               model_n_per_rank: int = 4096,
-              model_avg_degree: float = 16.0) -> list[SweepPoint]:
+              model_avg_degree: float = 16.0,
+              trace: bool = False) -> list[SweepPoint]:
     """Fig. 10 series for one (family, strategy) pair.
 
     Executing-simulator points use a scaled-down graph (``n_per_rank``); the
@@ -99,8 +108,10 @@ def bfs_sweep(family: str, strategy: str, ps: Sequence[int],
                 bfs(g, 0, comm, strategy=strategy)
                 return None
 
-            result = run(entry, p, cost_model=cm, comm_class=Comm)
-            points.append(SweepPoint(p, result.max_time, "simulated"))
+            result = run(entry, p, cost_model=cm, comm_class=Comm,
+                         trace=trace)
+            points.append(SweepPoint(p, result.max_time, "simulated",
+                                     result.op_bytes() if trace else None))
         else:
             workload = bfs_workload(family, p, model_n_per_rank,
                                     model_avg_degree)

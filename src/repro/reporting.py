@@ -79,6 +79,38 @@ def _draw_segment(grid: list[list[str]], a: tuple[int, int],
             grid[r][c] = "·"
 
 
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - fallthrough guarded above
+
+
+def op_bytes_table(totals: Mapping[str, Mapping[str, float]]) -> str:
+    """Aligned table of per-op trace aggregates.
+
+    ``totals`` is :meth:`repro.mpi.tracing.TraceRecorder.per_op_totals`
+    output: ``{op: {calls, sent, recvd, bytes, seconds}}``.  Rows are sorted
+    by total bytes, heaviest first — the communication profile of a run at a
+    glance.
+    """
+    if not totals:
+        return "(no trace)"
+    head = (f"{'op':<24}{'calls':>8}{'sent':>12}{'recvd':>12}"
+            f"{'bytes':>12}{'v-seconds':>12}")
+    rows = [head]
+    ordered = sorted(totals.items(),
+                     key=lambda kv: (-kv[1]["bytes"], kv[0]))
+    for op, agg in ordered:
+        rows.append(
+            f"{op:<24}{int(agg['calls']):>8}"
+            f"{_human_bytes(agg['sent']):>12}{_human_bytes(agg['recvd']):>12}"
+            f"{_human_bytes(agg['bytes']):>12}{agg['seconds']:>12.6f}"
+        )
+    return "\n".join(rows)
+
+
 def series_table(series: Mapping[str, Sequence[tuple[float, float]]],
                  x_header: str = "p") -> str:
     """Aligned numeric table of the same series (exact values)."""

@@ -1,6 +1,17 @@
-"""Shared test helpers."""
+"""Shared test helpers and the per-test watchdog.
+
+Every test runs under a watchdog (default 120 s, override with
+``@pytest.mark.timeout(seconds)`` or the ``REPRO_TEST_TIMEOUT`` env var):
+the test body executes in a worker thread, and if it does not finish in
+time the test *fails* with a diagnostic instead of hanging CI — the failure
+mode of a deadlocked simulated rank that slips past ``run_mpi``'s own
+deadline.  ``timeout(0)`` disables the watchdog for one test.
+"""
 
 from __future__ import annotations
+
+import os
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +19,43 @@ import pytest
 from repro.core import Communicator
 from repro.mpi import FREE, CostModel, RunResult, run_mpi
 from repro.core.runner import run as run_kamping
+
+#: default per-test watchdog, generous enough for the slow (deadline) tests
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    marker = pyfuncitem.get_closest_marker("timeout")
+    limit = (float(marker.args[0]) if marker is not None and marker.args
+             else DEFAULT_TEST_TIMEOUT)
+    if limit <= 0:
+        return None  # watchdog disabled: run in-process as usual
+    testfunction = pyfuncitem.obj
+    kwargs = {name: pyfuncitem.funcargs[name]
+              for name in pyfuncitem._fixtureinfo.argnames}
+    outcome: dict = {}
+
+    def call():
+        try:
+            outcome["result"] = testfunction(**kwargs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the runner
+            outcome["error"] = exc
+
+    runner = threading.Thread(target=call, daemon=True,
+                              name=f"test:{pyfuncitem.name}")
+    runner.start()
+    runner.join(limit)
+    if runner.is_alive():
+        pytest.fail(
+            f"test exceeded the {limit:.0f}s watchdog — a simulated rank is "
+            f"probably deadlocked (raise via @pytest.mark.timeout or "
+            f"REPRO_TEST_TIMEOUT if the test is legitimately slow)",
+            pytrace=False,
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return True
 
 #: rank counts exercised by most correctness tests (includes non-powers of 2)
 SMALL_P = (1, 2, 3, 4, 7, 8)

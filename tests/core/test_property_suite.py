@@ -11,6 +11,11 @@ Invariants checked on random inputs:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+import pytest
+
+# hypothesis suites are the heavyweight simulation tests: slow lane
+pytestmark = pytest.mark.slow
+
 from repro.core import (
     op,
     recv_counts_out,

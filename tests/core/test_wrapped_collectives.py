@@ -92,13 +92,15 @@ def test_scatter_equal_blocks(p):
         assert res.values[r] == [3 * r, 3 * r + 1, 3 * r + 2]
 
 
+@pytest.mark.slow
 def test_scatter_indivisible_raises():
+    """Root raises before scattering; the peer waits out its (short) deadline."""
     def main(comm):
         comm.scatter(send_buf(np.arange(5)) if comm.rank == 0 else root(0),
                      *([root(0)] if comm.rank == 0 else []))
 
     with pytest.raises(RuntimeError, match="divisible"):
-        runk(main, 2)
+        runk(main, 2, deadline=2.0)
 
 
 @pytest.mark.parametrize("p", SMALL_P)

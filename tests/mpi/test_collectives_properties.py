@@ -10,6 +10,11 @@ from hypothesis import given, settings, strategies as st
 from repro.mpi import MAX, MIN, SUM
 from tests.conftest import runp
 
+import pytest
+
+# hypothesis suites are the heavyweight simulation tests: slow lane
+pytestmark = pytest.mark.slow
+
 _settings = settings(max_examples=25, deadline=None)
 
 ranks = st.integers(min_value=1, max_value=6)

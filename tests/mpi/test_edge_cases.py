@@ -71,7 +71,11 @@ class TestTruncation:
             runp(main, 2)
 
 
+@pytest.mark.slow
 class TestScattervErrors:
+    """Root raises; the other rank sits out its mailbox deadline — these two
+    dominate full-suite runtime, hence the short deadline and ``slow`` mark."""
+
     def test_counts_exceed_buffer(self):
         def main(comm):
             if comm.rank == 0:
@@ -80,16 +84,17 @@ class TestScattervErrors:
                 comm.scatterv(None, None, 0)
 
         with pytest.raises(RuntimeError, match="exceed"):
-            runp(main, 2)
+            runp(main, 2, deadline=2.0)
 
     def test_missing_counts_at_root(self):
         def main(comm):
             comm.scatterv(np.arange(4) if comm.rank == 0 else None, None, 0)
 
         with pytest.raises(RuntimeError, match="sendcounts"):
-            runp(main, 2)
+            runp(main, 2, deadline=2.0)
 
 
+@pytest.mark.slow
 class TestStress:
     def test_many_interleaved_messages(self):
         """Heavy all-pairs p2p traffic with per-pair tags stays consistent."""

@@ -12,6 +12,11 @@ from hypothesis import given, settings, strategies as st
 from repro.mpi import MAX, MIN, SUM
 from tests.conftest import runp
 
+import pytest
+
+# hypothesis suites are the heavyweight simulation tests: slow lane
+pytestmark = pytest.mark.slow
+
 _settings = settings(max_examples=15, deadline=None)
 
 

@@ -6,6 +6,11 @@ from hypothesis import given, settings, strategies as st
 from repro.mpi import ANY_SOURCE, ANY_TAG
 from tests.conftest import runp
 
+import pytest
+
+# hypothesis suites are the heavyweight simulation tests: slow lane
+pytestmark = pytest.mark.slow
+
 _settings = settings(max_examples=15, deadline=None)
 
 # a schedule: list of (src, dst, tag, value)
