@@ -16,6 +16,7 @@ Every wrapped operation
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Hashable, Optional, Sequence
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro.mpi.errors import (
     RawCommRevoked,
     RawProcessFailure,
     RawTruncationError,
+    RawUsageError,
 )
 from repro.mpi.ops import Op
 
@@ -177,6 +179,52 @@ class Communicator:
             lambda: self.raw.dist_graph_create_adjacent(sources, destinations)
         )
         return type(self)(raw)
+
+    # -- collective algorithm tuning -----------------------------------------
+
+    @contextmanager
+    def use_algorithms(self, **selections: Any):
+        """Pin collective algorithms for *this* communicator within the block.
+
+        Each keyword names a collective; the value is either an algorithm
+        name or a size-bucketed rules list ``[(max_bytes | None, name), ...]``
+        applied first-match on the call's payload-size hint::
+
+            with comm.use_algorithms(allgather="ring",
+                                     bcast=[(1024, "binomial"),
+                                            (None, "scatter_allgather")]):
+                comm.allgather(send_buf(v))      # runs the ring algorithm
+
+        The rules are installed *rank-locally* (they shadow the engine-wide
+        tuning table for this communicator only; forced ``REPRO_COLL_<OP>``
+        overrides still win), so entering and exiting the block can never
+        race other ranks' selections; any pre-existing scoped rules are
+        restored on exit.  SPMD contract: like the collectives themselves,
+        every rank must enter the block with the same selections — a rank
+        running ``ring`` against peers running ``bruck`` deadlocks just like
+        a missing collective call would.
+        """
+        engine = self.raw.machine.engine
+        overlay = self.raw._coll_tuning
+        previous: dict[str, Any] = {}
+        installed: list[str] = []
+        try:
+            for op, selection in selections.items():
+                try:
+                    checked = engine.check_rules(op, selection)
+                except RawUsageError as exc:
+                    raise UsageError(str(exc)) from exc
+                previous[op] = overlay.get(op)
+                overlay[op] = checked
+                installed.append(op)
+            yield self
+        finally:
+            for op in installed:
+                prior = previous[op]
+                if prior is None:
+                    overlay.pop(op, None)
+                else:
+                    overlay[op] = prior
 
     # -- plumbing ---------------------------------------------------------------
 

@@ -6,6 +6,7 @@ from typing import Any, Callable, Optional, Sequence, Type
 
 from repro.core.communicator import Communicator
 from repro.mpi.costmodel import CostModel
+from repro.mpi.engine import CollectiveEngine
 from repro.mpi.machine import RunResult, run_mpi
 from repro.mpi.tracing import TraceRecorder
 
@@ -15,18 +16,21 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         cost_model: Optional[CostModel] = None,
         deadline: float = 120.0,
         comm_class: Type[Communicator] = Communicator,
-        trace: bool | TraceRecorder = False) -> RunResult:
+        trace: bool | TraceRecorder = False,
+        engine: Optional[CollectiveEngine] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
     :class:`~repro.core.communicator.Communicator` (optionally a plugin-
     extended subclass via ``comm_class``) instead of the raw handle.
     ``trace=True`` records the structured communication trace
-    (:class:`~repro.mpi.tracing.TraceRecorder`) as ``result.trace``.
+    (:class:`~repro.mpi.tracing.TraceRecorder`) as ``result.trace``;
+    ``engine`` overrides the collective algorithm selection (see
+    :class:`~repro.mpi.engine.CollectiveEngine`).
     """
 
     def entry(raw, *fn_args):
         return fn(comm_class(raw), *fn_args)
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
-                   deadline=deadline, trace=trace)
+                   deadline=deadline, trace=trace, engine=engine)

@@ -7,9 +7,12 @@ use.  Virtual per-rank clocks driven by an α-β cost model supply the
 simulated running times the benchmarks report.
 """
 
+from repro.mpi import algorithms
+from repro.mpi.algorithms import Algorithm
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, IN_PLACE, PROC_NULL
 from repro.mpi.context import RawComm
 from repro.mpi.costmodel import FREE, Clock, CostModel
+from repro.mpi.engine import CollectiveEngine
 from repro.mpi.errors import (
     ProcessKilled,
     RawCommRevoked,
@@ -45,6 +48,7 @@ from repro.mpi.tracing import (
     TraceEvent,
     TraceRecorder,
     calls,
+    size_bucket,
 )
 
 __all__ = [
@@ -59,4 +63,6 @@ __all__ = [
     "FailureScript", "no_failures",
     "expect_calls", "call_delta", "snapshot",
     "TraceRecorder", "TraceEvent", "CallSpec", "calls", "NULL_TRACER",
+    "size_bucket",
+    "algorithms", "Algorithm", "CollectiveEngine",
 ]

@@ -1,0 +1,157 @@
+"""Registry of collective algorithm implementations.
+
+Real MPI implementations ship several algorithms per collective and pick one
+per call from message size, communicator size, and topology (MPICH's
+``MPIR_CVAR_*``, Open MPI's ``coll_tuned_*`` decision tables).  The seed
+runtime hard-coded exactly one algorithm per collective; this package turns
+that into a first-class, tunable layer:
+
+- every implementation registers itself with :func:`collective_algorithm`,
+  carrying a **closed-form α-β cost formula** of what it does on the
+  simulator (cross-validated in ``tests/perf/test_algorithm_costs.py``);
+- :class:`~repro.mpi.engine.CollectiveEngine` resolves ``(collective, p,
+  nbytes, comm)`` to one registered :class:`Algorithm` per call;
+- the per-collective modules (``bcast``, ``allgather``, ``reduce``, …) hold
+  the implementations, all written against the uncounted ``_send``/``_recv``
+  primitives of :class:`~repro.mpi.context.RawComm` exactly like the seed's
+  free functions, so PMPI counters still see one call per collective.
+
+Default algorithms (marked ``default=True``) are the seed's originals, so an
+engine with the default policy reproduces the seed's traces bit-for-bit.
+
+Implementations must be **pattern-deterministic**: every rank derives the
+same send/receive schedule from ``(p, rank, root)`` plus symmetric arguments,
+never from payload *content*, so that all ranks of one collective call can
+safely run the same registered algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mpi.errors import RawUsageError
+
+#: cost formula signature: ``(p, nbytes, cost_model) -> seconds``, where
+#: ``nbytes`` follows the per-collective hint convention documented in
+#: :meth:`repro.mpi.engine.CollectiveEngine.resolve`.
+CostFn = Callable[[int, int, object], float]
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """One registered implementation of one collective."""
+
+    collective: str
+    name: str
+    fn: Callable
+    #: closed-form α-β cost of the simulated execution (``None`` exempts the
+    #: algorithm from cost-model selection — it is then only reachable as the
+    #: default or through overrides/tuning)
+    cost: Optional[CostFn] = None
+    description: str = ""
+
+    def predict(self, p: int, nbytes: int, cost_model) -> float:
+        if self.cost is None:
+            raise RawUsageError(
+                f"algorithm {self.collective}/{self.name} has no cost formula"
+            )
+        return self.cost(p, nbytes, cost_model)
+
+
+_REGISTRY: dict[str, dict[str, Algorithm]] = {}
+_DEFAULTS: dict[str, str] = {}
+
+
+def collective_algorithm(collective: str, name: str, *, default: bool = False,
+                         cost: Optional[CostFn] = None,
+                         description: str = ""):
+    """Decorator registering ``fn`` as one implementation of ``collective``."""
+
+    def wrap(fn: Callable) -> Callable:
+        table = _REGISTRY.setdefault(collective, {})
+        if name in table:
+            raise RawUsageError(
+                f"algorithm {collective}/{name} registered twice"
+            )
+        table[name] = Algorithm(collective=collective, name=name, fn=fn,
+                                cost=cost, description=description)
+        if default:
+            if collective in _DEFAULTS:
+                raise RawUsageError(
+                    f"collective {collective} has two default algorithms"
+                )
+            _DEFAULTS[collective] = name
+        return fn
+
+    return wrap
+
+
+def collectives() -> tuple[str, ...]:
+    """All collectives with registered algorithms, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def names(collective: str) -> tuple[str, ...]:
+    """Registered algorithm names for one collective (default first)."""
+    table = _table(collective)
+    default = _DEFAULTS[collective]
+    return (default,) + tuple(sorted(n for n in table if n != default))
+
+
+def algorithms(collective: str) -> tuple[Algorithm, ...]:
+    """Registered algorithms for one collective (default first)."""
+    table = _table(collective)
+    return tuple(table[n] for n in names(collective))
+
+
+def get(collective: str, name: str) -> Algorithm:
+    """Look up one algorithm; raises with the available names on a miss."""
+    table = _table(collective)
+    algo = table.get(name)
+    if algo is None:
+        raise RawUsageError(
+            f"unknown algorithm {name!r} for {collective}; registered: "
+            f"{', '.join(names(collective))}"
+        )
+    return algo
+
+
+def default(collective: str) -> Algorithm:
+    """The seed-compatible default algorithm of one collective."""
+    return _table(collective)[_DEFAULTS[collective]]
+
+
+def default_name(collective: str) -> str:
+    _table(collective)
+    return _DEFAULTS[collective]
+
+
+def _table(collective: str) -> dict[str, Algorithm]:
+    table = _REGISTRY.get(collective)
+    if table is None:
+        raise RawUsageError(
+            f"unknown collective {collective!r}; registered: "
+            f"{', '.join(collectives())}"
+        )
+    return table
+
+
+# Populate the registry.  Import order is unimportant; each module only
+# depends on the decorator above and on the p2p primitives.
+from repro.mpi.algorithms import (  # noqa: E402  (registration imports)
+    allgather as _allgather,
+    alltoall as _alltoall,
+    barrier as _barrier,
+    bcast as _bcast,
+    gather_scatter as _gather_scatter,
+    neighbor as _neighbor,
+    reduce as _reduce,
+)
+from repro.mpi.algorithms.singleton import SINGLETON  # noqa: E402
+
+__all__ = [
+    "Algorithm", "CostFn", "collective_algorithm",
+    "collectives", "names", "algorithms", "get", "default", "default_name",
+    "SINGLETON",
+]

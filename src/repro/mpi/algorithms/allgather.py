@@ -1,0 +1,165 @@
+"""Allgather / allgatherv algorithms.
+
+``nbytes`` hints: allgather uses the local contribution size; allgatherv uses
+the *total* gathered size (``Σ recvcounts·itemsize``), which every rank knows
+symmetrically because recvcounts is required on all ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.algorithms import collective_algorithm
+from repro.mpi.algorithms.common import (
+    CODE_ALLGATHER,
+    CODE_ALLGATHERV,
+    _ceil_log2,
+    _tree_depth,
+    _validate_root,
+)
+from repro.mpi.algorithms.bcast import bcast_binomial
+from repro.mpi.algorithms.gather_scatter import gather_binomial
+from repro.mpi.datatypes import ensure_1d_array
+from repro.mpi.errors import RawTruncationError, RawUsageError
+
+
+def _cost_bruck(p, nbytes, cm):
+    # Round k ships min(k, p−k) already-collected blocks: log-depth latency
+    # at full (p−1)·n bandwidth.
+    return _ceil_log2(p) * (cm.alpha + 2 * cm.overhead) + (p - 1) * nbytes * cm.beta
+
+
+def _cost_ring(p, nbytes, cm):
+    return (p - 1) * (cm.alpha + 2 * cm.overhead + nbytes * cm.beta)
+
+
+def _cost_gather_bcast(p, nbytes, cm):
+    gather = _tree_depth(p) * (cm.alpha + 2 * cm.overhead) + (p - 1) * nbytes * cm.beta
+    bcast = _tree_depth(p) * (cm.alpha + p * nbytes * cm.beta + 2 * cm.overhead)
+    return gather + bcast
+
+
+def _cost_ring_v(p, nbytes, cm):
+    # nbytes = total gathered size; each round moves ~total/p on average.
+    return (p - 1) * (cm.alpha + 2 * cm.overhead) + nbytes * cm.beta * (p - 1) / p
+
+
+def _cost_gather_bcast_v(p, nbytes, cm):
+    # Binomial gather: tree-depth latency; the root's inbound volume
+    # (everything but its own block, ≈ n·(p−1)/p) is the bandwidth term.
+    gather = _tree_depth(p) * (cm.alpha + 2 * cm.overhead) \
+        + nbytes * cm.beta * (p - 1) / p
+    bcast = _tree_depth(p) * (cm.alpha + nbytes * cm.beta + 2 * cm.overhead)
+    return gather + bcast
+
+
+@collective_algorithm("allgather", "bruck", default=True, cost=_cost_bruck,
+                      description="Bruck's algorithm: ⌈log₂ p⌉ rounds of "
+                                  "doubling block exchanges")
+def allgather_bruck(comm, payload: Any) -> list:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_ALLGATHER)
+    blocks: list = [payload]
+    k = 1
+    while k < p:
+        send_cnt = min(k, p - k)
+        comm._send(blocks[:send_cnt], (r - k) % p, tag)
+        other, _ = comm._recv((r + k) % p, tag)
+        blocks.extend(other)
+        k <<= 1
+    out: list = [None] * p
+    for i in range(p):
+        out[(r + i) % p] = blocks[i]
+    return out
+
+
+@collective_algorithm("allgather", "ring", cost=_cost_ring,
+                      description="p−1 rounds passing one block around the "
+                                  "ring; minimal per-round bandwidth")
+def allgather_ring(comm, payload: Any) -> list:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_ALLGATHER)
+    out: list = [None] * p
+    out[r] = payload
+    cur = payload
+    right, left = (r + 1) % p, (r - 1) % p
+    for i in range(1, p):
+        comm._send(cur, right, tag)
+        cur, _ = comm._recv(left, tag)
+        out[(r - i) % p] = cur
+    return out
+
+
+@collective_algorithm("allgather", "gather_bcast", cost=_cost_gather_bcast,
+                      description="binomial gather to rank 0 followed by a "
+                                  "binomial broadcast of the full list")
+def allgather_gather_bcast(comm, payload: Any) -> list:
+    items = gather_binomial(comm, payload, 0)
+    return bcast_binomial(comm, items, 0)
+
+
+@collective_algorithm("allgatherv", "ring", default=True, cost=_cost_ring_v,
+                      description="p−1 rounds passing variable blocks around "
+                                  "the ring; every rank checks every block")
+def allgatherv_ring(comm, sendbuf: np.ndarray,
+                    recvcounts: Sequence[int]) -> np.ndarray:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_ALLGATHERV)
+    sendbuf = ensure_1d_array(sendbuf)
+    if len(recvcounts) != p:
+        raise RawUsageError(f"recvcounts must have length {p}")
+    if len(sendbuf) > recvcounts[r]:
+        raise RawTruncationError(
+            f"allgatherv: local block has {len(sendbuf)} items but recvcounts[{r}] "
+            f"= {recvcounts[r]}"
+        )
+    parts: list[Optional[np.ndarray]] = [None] * p
+    parts[r] = sendbuf
+    cur = sendbuf
+    right, left = (r + 1) % p, (r - 1) % p
+    for i in range(1, p):
+        comm._send(cur, right, tag)
+        cur, _ = comm._recv(left, tag)
+        cur = ensure_1d_array(cur)
+        src = (r - i) % p
+        if len(cur) > recvcounts[src]:
+            raise RawTruncationError(
+                f"allgatherv: block from rank {src} has {len(cur)} items, "
+                f"recvcounts allows {recvcounts[src]}"
+            )
+        parts[src] = cur
+    return np.concatenate(parts) if p > 1 else sendbuf.copy()
+
+
+@collective_algorithm("allgatherv", "gather_bcast", cost=_cost_gather_bcast_v,
+                      description="binomial gather of blocks to rank 0, "
+                                  "concatenate, binomial broadcast")
+def allgatherv_gather_bcast(comm, sendbuf: np.ndarray,
+                            recvcounts: Sequence[int]) -> np.ndarray:
+    p, r = comm.size, comm.rank
+    sendbuf = ensure_1d_array(sendbuf)
+    if len(recvcounts) != p:
+        raise RawUsageError(f"recvcounts must have length {p}")
+    # Every rank checks its own block *before* communicating, so a symmetric
+    # count mismatch raises everywhere instead of deadlocking non-roots.
+    if len(sendbuf) > recvcounts[r]:
+        raise RawTruncationError(
+            f"allgatherv: local block has {len(sendbuf)} items but recvcounts[{r}] "
+            f"= {recvcounts[r]}"
+        )
+    blocks = gather_binomial(comm, sendbuf, 0)
+    full: Optional[np.ndarray] = None
+    if r == 0:
+        parts = []
+        for src, block in enumerate(blocks):
+            block = ensure_1d_array(block)
+            if len(block) > recvcounts[src]:
+                raise RawTruncationError(
+                    f"allgatherv: block from rank {src} has {len(block)} items, "
+                    f"recvcounts allows {recvcounts[src]}"
+                )
+            parts.append(block)
+        full = np.concatenate(parts) if p > 1 else sendbuf.copy()
+    return bcast_binomial(comm, full, 0)

@@ -1,0 +1,64 @@
+"""Barrier algorithms."""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms import collective_algorithm
+from repro.mpi.algorithms.common import CODE_BARRIER, _ceil_log2, _tree_depth
+
+
+def _cost_dissemination(p, nbytes, cm):
+    # Every rank really does send+receive in each of the ⌈log₂ p⌉ rounds.
+    return _ceil_log2(p) * (cm.alpha + 2 * cm.overhead)
+
+
+def _cost_tree(p, nbytes, cm):
+    # gather-to-0 then broadcast-from-0, both binomial: two tree-depth sweeps.
+    return 2 * _tree_depth(p) * (cm.alpha + 2 * cm.overhead)
+
+
+@collective_algorithm("barrier", "dissemination", default=True,
+                      cost=_cost_dissemination,
+                      description="⌈log₂ p⌉ symmetric rounds; every rank "
+                                  "sends and receives each round")
+def barrier_dissemination(comm) -> None:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_BARRIER)
+    if p == 1:
+        return
+    k = 1
+    while k < p:
+        comm._send(None, (r + k) % p, tag)
+        comm._recv((r - k) % p, tag)
+        k <<= 1
+
+
+@collective_algorithm("barrier", "tree", cost=_cost_tree,
+                      description="binomial gather of empty tokens to rank 0 "
+                                  "followed by a binomial release broadcast")
+def barrier_tree(comm) -> None:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_BARRIER)
+    if p == 1:
+        return
+    # Converge: each rank collects a token per subtree, then reports upward.
+    mask = 1
+    while mask < p:
+        if r & mask:
+            comm._send(None, r & ~mask, tag)
+            break
+        src = r | mask
+        if src < p:
+            comm._recv(src, tag)
+        mask <<= 1
+    # Release: rank 0 exits the loop with mask ≥ p; everyone else waits for
+    # the release from the parent it just reported to, then forwards it down.
+    # Converge messages flow child→parent and releases parent→child, so one
+    # tag cannot mismatch across the two sweeps.
+    if r != 0:
+        comm._recv(r & ~mask, tag)
+    mask >>= 1
+    while mask > 0:
+        child = r + mask
+        if child < p:
+            comm._send(None, child, tag)
+        mask >>= 1

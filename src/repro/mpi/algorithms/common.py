@@ -1,0 +1,62 @@
+"""Shared helpers for the collective algorithm implementations.
+
+The op codes are folded into the reserved negative tag space by
+:func:`repro.mpi.constants.collective_tag`; tag *uniqueness* comes from the
+per-communicator sequence number, so multi-phase algorithms simply draw one
+tag per phase — every rank calls ``_next_coll_tag`` in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ops import Op
+
+# Collective op codes (folded into reserved tags).
+CODE_BARRIER = 0
+CODE_BCAST = 1
+CODE_GATHER = 2
+CODE_GATHERV = 3
+CODE_SCATTER = 4
+CODE_SCATTERV = 5
+CODE_ALLGATHER = 6
+CODE_ALLGATHERV = 7
+CODE_ALLTOALL = 8
+CODE_ALLTOALLV = 9
+CODE_ALLTOALLW = 10
+CODE_REDUCE = 11
+CODE_ALLREDUCE = 12
+CODE_SCAN = 13
+CODE_EXSCAN = 14
+CODE_NEIGHBOR = 15
+CODE_NEIGHBORV = 16
+
+
+def _validate_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise RawUsageError(f"root {root} out of range for size {comm.size}")
+
+
+def _combine(op: Op, a: Any, b: Any) -> Any:
+    """Apply ``op`` elementwise, preserving array-ness of the inputs."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return op(np.asarray(a), np.asarray(b))
+    return op(a, b)
+
+
+def _ceil_log2(p: int) -> int:
+    return max(1, (p - 1).bit_length()) if p > 1 else 0
+
+
+def _tree_depth(p: int) -> int:
+    """Critical-path depth of a p-node binomial tree: ⌊log₂ p⌋.
+
+    A node at virtual rank v sits at depth popcount(v), and the maximum
+    popcount over v < p is ⌊log₂ p⌋ — one less than the ⌈log₂ p⌉ *round
+    count* whenever p is not a power of two.  With buffered sends the
+    rounds overlap, so virtual time tracks tree depth, not round count.
+    """
+    return p.bit_length() - 1 if p > 1 else 0

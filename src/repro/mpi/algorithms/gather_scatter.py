@@ -1,0 +1,203 @@
+"""Gather / scatter family algorithms."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.algorithms import collective_algorithm
+from repro.mpi.algorithms.common import (
+    CODE_GATHER,
+    CODE_GATHERV,
+    CODE_SCATTER,
+    CODE_SCATTERV,
+    _tree_depth,
+    _validate_root,
+)
+from repro.mpi.datatypes import ensure_1d_array
+from repro.mpi.errors import RawTruncationError, RawUsageError
+
+
+def _cost_gather_binomial(p, nbytes, cm):
+    # tree-depth latency; the root still absorbs (p−1)·n bytes in total.
+    return _tree_depth(p) * (cm.alpha + 2 * cm.overhead) + (p - 1) * nbytes * cm.beta
+
+
+def _cost_gather_linear(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    # Root posts p−1 receives at `overhead` each; the slowest arrival
+    # carries one α plus its block.
+    return cm.alpha + nbytes * cm.beta + p * cm.overhead
+
+
+def _cost_scatter_linear(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    return (p - 1) * cm.overhead + cm.alpha + nbytes * cm.beta + cm.overhead
+
+
+def _cost_scatter_binomial(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    # Each tree level forwards half the remaining blocks: tree-depth latency,
+    # but the root's first send already carries ~p/2 blocks.
+    return _tree_depth(p) * (cm.alpha + 2 * cm.overhead) + p * nbytes * cm.beta
+
+
+@collective_algorithm("gather", "binomial", default=True,
+                      cost=_cost_gather_binomial,
+                      description="binomial combining tree of (virtual rank, "
+                                  "payload) item lists")
+def gather_binomial(comm, payload: Any, root: int) -> Optional[list]:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_GATHER)
+    vr = (r - root) % p
+    items: list[tuple[int, Any]] = [(vr, payload)]
+    mask = 1
+    while mask < p:
+        if vr & mask == 0:
+            src_vr = vr | mask
+            if src_vr < p:
+                other, _ = comm._recv((src_vr + root) % p, tag)
+                items.extend(other)
+        else:
+            comm._send(items, ((vr & ~mask) + root) % p, tag)
+            return None
+        mask <<= 1
+    out: list = [None] * p
+    for v, pl in items:
+        out[(v + root) % p] = pl
+    return out
+
+
+@collective_algorithm("gather", "linear", cost=_cost_gather_linear,
+                      description="every rank sends its payload directly to "
+                                  "the root")
+def gather_linear(comm, payload: Any, root: int) -> Optional[list]:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_GATHER)
+    if r != root:
+        comm._send(payload, root, tag)
+        return None
+    out: list = [None] * p
+    out[r] = payload
+    for src in range(p):
+        if src != r:
+            out[src], _ = comm._recv(src, tag)
+    return out
+
+
+@collective_algorithm("gatherv", "linear", default=True,
+                      cost=_cost_gather_linear,
+                      description="every rank sends its block directly to the "
+                                  "root, which checks recvcounts")
+def gatherv_linear(comm, sendbuf: np.ndarray,
+                   recvcounts: Optional[Sequence[int]],
+                   root: int) -> Optional[np.ndarray]:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_GATHERV)
+    sendbuf = ensure_1d_array(sendbuf)
+    if r != root:
+        comm._send(sendbuf, root, tag)
+        return None
+    if recvcounts is None:
+        raise RawUsageError("gatherv requires recvcounts at the root")
+    if len(recvcounts) != p:
+        raise RawUsageError(f"recvcounts must have length {p}")
+    parts: list[Optional[np.ndarray]] = [None] * p
+    parts[r] = sendbuf
+    for src in range(p):
+        if src == r:
+            continue
+        block, _ = comm._recv(src, tag)
+        parts[src] = ensure_1d_array(block)
+    for src, block in enumerate(parts):
+        if len(block) > recvcounts[src]:
+            raise RawTruncationError(
+                f"gatherv: message from rank {src} has {len(block)} items, "
+                f"recvcounts allows {recvcounts[src]}"
+            )
+    return np.concatenate(parts) if parts else np.empty(0)
+
+
+@collective_algorithm("scatter", "linear", default=True,
+                      cost=_cost_scatter_linear,
+                      description="root sends each rank its payload directly")
+def scatter_linear(comm, payloads: Optional[Sequence[Any]], root: int) -> Any:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_SCATTER)
+    if r == root:
+        if payloads is None or len(payloads) != p:
+            raise RawUsageError(f"scatter root must supply exactly {p} payloads")
+        for dst in range(p):
+            if dst != root:
+                comm._send(payloads[dst], dst, tag)
+        return payloads[root]
+    payload, _ = comm._recv(root, tag)
+    return payload
+
+
+@collective_algorithm("scatter", "binomial", cost=_cost_scatter_binomial,
+                      description="binomial tree forwarding subtree slices: "
+                                  "log-depth latency, Θ(p·n) root bandwidth")
+def scatter_binomial(comm, payloads: Optional[Sequence[Any]], root: int) -> Any:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_SCATTER)
+    vr = (r - root) % p
+    # `items[i]` is the payload of virtual rank vr+i; each child receives the
+    # contiguous slice covering its own subtree.
+    if vr == 0:
+        if payloads is None or len(payloads) != p:
+            raise RawUsageError(f"scatter root must supply exactly {p} payloads")
+        items = [payloads[(v + root) % p] for v in range(p)]
+        mask = 1
+        while mask < p:
+            mask <<= 1
+    else:
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                src = (vr - mask + root) % p
+                items, _ = comm._recv(src, tag)
+                break
+            mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = vr + mask
+        if child < p:
+            cnt = min(mask, p - child)
+            comm._send(items[mask: mask + cnt], (child + root) % p, tag)
+        mask >>= 1
+    return items[0]
+
+
+@collective_algorithm("scatterv", "linear", default=True,
+                      cost=_cost_scatter_linear,
+                      description="root slices sendbuf by sendcounts and "
+                                  "sends each slice directly")
+def scatterv_linear(comm, sendbuf: Optional[np.ndarray],
+                    sendcounts: Optional[Sequence[int]],
+                    root: int) -> np.ndarray:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_SCATTERV)
+    if r == root:
+        if sendbuf is None or sendcounts is None or len(sendcounts) != p:
+            raise RawUsageError(f"scatterv root must supply sendbuf and {p} sendcounts")
+        sendbuf = ensure_1d_array(sendbuf)
+        displs = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).astype(int)
+        if displs[-1] + sendcounts[-1] > len(sendbuf):
+            raise RawUsageError("scatterv sendcounts exceed sendbuf length")
+        for dst in range(p):
+            if dst != root:
+                comm._send(sendbuf[displs[dst]: displs[dst] + sendcounts[dst]], dst, tag)
+        return sendbuf[displs[root]: displs[root] + sendcounts[root]].copy()
+    block, _ = comm._recv(root, tag)
+    return ensure_1d_array(block)

@@ -1,0 +1,82 @@
+"""Neighborhood collective algorithms.
+
+Only one schedule exists (``direct``): message complexity is Θ(degree) by
+construction, which is the entire point of neighborhood collectives — there
+is no size/p crossover for the engine to exploit, so no cost formula is
+registered and the default policy always picks ``direct``.  No singleton
+fast path either: a self-loop topology carries real messages even on one
+rank.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpi.algorithms import collective_algorithm
+from repro.mpi.algorithms.common import CODE_NEIGHBOR, CODE_NEIGHBORV
+from repro.mpi.datatypes import ensure_1d_array
+from repro.mpi.errors import RawTruncationError, RawUsageError
+
+
+def _require_topology(comm) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    topo = comm.topology
+    if topo is None:
+        raise RawUsageError(
+            "neighborhood collectives require a dist-graph communicator "
+            "(use dist_graph_create_adjacent)"
+        )
+    return topo
+
+
+@collective_algorithm("neighbor_alltoall", "direct", default=True,
+                      description="one buffered send per out-neighbor, one "
+                                  "receive per in-neighbor")
+def neighbor_alltoall_direct(comm, payloads: Sequence) -> list:
+    sources, destinations = _require_topology(comm)
+    tag = comm._next_coll_tag(CODE_NEIGHBOR)
+    if len(payloads) != len(destinations):
+        raise RawUsageError(
+            f"neighbor_alltoall requires {len(destinations)} payloads "
+            f"(one per destination)"
+        )
+    for payload, dst in zip(payloads, destinations):
+        comm._send(payload, dst, tag)
+    out = []
+    for src in sources:
+        payload, _ = comm._recv(src, tag)
+        out.append(payload)
+    return out
+
+
+@collective_algorithm("neighbor_alltoallv", "direct", default=True,
+                      description="variable-size neighborhood exchange: "
+                                  "Θ(degree), not Θ(p)")
+def neighbor_alltoallv_direct(comm, sendbuf: np.ndarray,
+                              sendcounts: Sequence[int],
+                              recvcounts: Sequence[int]) -> np.ndarray:
+    sources, destinations = _require_topology(comm)
+    tag = comm._next_coll_tag(CODE_NEIGHBORV)
+    sendbuf = ensure_1d_array(sendbuf)
+    if len(sendcounts) != len(destinations):
+        raise RawUsageError("sendcounts must match the number of destinations")
+    if len(recvcounts) != len(sources):
+        raise RawUsageError("recvcounts must match the number of sources")
+    displs = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).astype(int) \
+        if len(sendcounts) else np.zeros(0, dtype=int)
+    for j, dst in enumerate(destinations):
+        comm._send(sendbuf[displs[j]: displs[j] + sendcounts[j]], dst, tag)
+    parts = []
+    for i, src in enumerate(sources):
+        block, _ = comm._recv(src, tag)
+        block = ensure_1d_array(block)
+        if len(block) > recvcounts[i]:
+            raise RawTruncationError(
+                f"neighbor_alltoallv: message from rank {src} has {len(block)} "
+                f"items, recvcounts allows {recvcounts[i]}"
+            )
+        parts.append(block)
+    if not parts:
+        return sendbuf[:0].copy()
+    return np.concatenate(parts)

@@ -1,0 +1,263 @@
+"""Reduction algorithms (reduce, allreduce, scan, exscan).
+
+Non-commutative operators always fall back to canonical-rank-order folding:
+``reduce`` gathers and folds at the root, ``allreduce`` composes reduce +
+bcast — exactly the seed's behavior, independent of the selected algorithm.
+
+``nbytes`` hint: local contribution size (symmetric across ranks by MPI's
+matching-count semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.mpi.algorithms import collective_algorithm
+from repro.mpi.algorithms.common import (
+    CODE_ALLREDUCE,
+    CODE_EXSCAN,
+    CODE_REDUCE,
+    CODE_SCAN,
+    _combine,
+    _tree_depth,
+    _validate_root,
+)
+from repro.mpi.algorithms.bcast import bcast_binomial
+from repro.mpi.algorithms.gather_scatter import gather_binomial
+from repro.mpi.ops import Op
+
+
+def _cost_reduce_binomial(p, nbytes, cm):
+    return _tree_depth(p) * (cm.alpha + nbytes * cm.beta + 2 * cm.overhead)
+
+
+def _cost_reduce_linear(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    return cm.alpha + nbytes * cm.beta + p * cm.overhead
+
+
+def _cost_recursive_doubling(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    p2 = 1 << (p.bit_length() - 1)
+    rounds = p2.bit_length() - 1
+    if p != p2:
+        rounds += 2  # pre-fold and post-distribute for the remainder ranks
+    return rounds * (cm.alpha + nbytes * cm.beta + 2 * cm.overhead)
+
+
+def _cost_reduce_bcast(p, nbytes, cm):
+    return 2 * _tree_depth(p) * (cm.alpha + nbytes * cm.beta + 2 * cm.overhead)
+
+
+def _cost_allreduce_ring(p, nbytes, cm):
+    if p == 1:
+        return 0.0
+    # Arrays too short to shard (fewer elements than ranks, ~8-byte words)
+    # take the reduce+bcast fallback, so cost that path instead.
+    if nbytes < p * 8:
+        return _cost_reduce_bcast(p, nbytes, cm)
+    # reduce-scatter + allgather, each p−1 rounds of chunks; array_split
+    # rounds chunk sizes up to whole ⌈w/p⌉-word blocks, which matters when
+    # p does not divide the element count.
+    chunk = 8 * -(-nbytes // (8 * p))
+    return 2 * (p - 1) * (cm.alpha + 2 * cm.overhead + chunk * cm.beta)
+
+
+def _cost_scan_doubling(p, nbytes, cm):
+    # ⌈log₂ p⌉ rounds, but buffered sends overlap them down to tree depth.
+    return _tree_depth(p) * (cm.alpha + nbytes * cm.beta + 2 * cm.overhead)
+
+
+@collective_algorithm("reduce", "binomial", default=True,
+                      cost=_cost_reduce_binomial,
+                      description="binomial combining tree (commutative ops); "
+                                  "gather + ordered fold otherwise")
+def reduce_binomial(comm, value: Any, op: Op, root: int) -> Any:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    if not op.commutative:
+        return _reduce_ordered(comm, value, op, root)
+    tag = comm._next_coll_tag(CODE_REDUCE)
+    vr = (r - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vr & mask == 0:
+            src_vr = vr | mask
+            if src_vr < p:
+                other, _ = comm._recv((src_vr + root) % p, tag)
+                acc = _combine(op, acc, other)
+        else:
+            comm._send(acc, ((vr & ~mask) + root) % p, tag)
+            return None
+        mask <<= 1
+    return acc
+
+
+@collective_algorithm("reduce", "linear", cost=_cost_reduce_linear,
+                      description="root receives every contribution and folds "
+                                  "in rank order (valid for non-commutative "
+                                  "ops too)")
+def reduce_linear(comm, value: Any, op: Op, root: int) -> Any:
+    _validate_root(comm, root)
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_REDUCE)
+    if r != root:
+        comm._send(value, root, tag)
+        return None
+    items: list = [None] * p
+    items[r] = value
+    for src in range(p):
+        if src != r:
+            items[src], _ = comm._recv(src, tag)
+    acc = items[0]
+    for item in items[1:]:
+        acc = _combine(op, acc, item)
+    return acc
+
+
+def _reduce_ordered(comm, value: Any, op: Op, root: int) -> Any:
+    """Rank-ordered fold via binomial gather (non-commutative fallback)."""
+    r = comm.rank
+    items = gather_binomial(comm, value, root)
+    if r != root:
+        return None
+    acc = items[0]
+    for item in items[1:]:
+        acc = _combine(op, acc, item)
+    return acc
+
+
+@collective_algorithm("allreduce", "recursive_doubling", default=True,
+                      cost=_cost_recursive_doubling,
+                      description="recursive doubling with non-power-of-two "
+                                  "folding")
+def allreduce_recursive_doubling(comm, value: Any, op: Op) -> Any:
+    p, r = comm.size, comm.rank
+    if not op.commutative:
+        result = reduce_binomial(comm, value, op, 0)
+        return bcast_binomial(comm, result, 0)
+    tag = comm._next_coll_tag(CODE_ALLREDUCE)
+    if p == 1:
+        return value
+    p2 = 1 << (p.bit_length() - 1)
+    rem = p - p2
+    acc = value
+    new_rank = -1
+    if r < 2 * rem:
+        if r % 2 == 1:
+            comm._send(acc, r - 1, tag)
+        else:
+            other, _ = comm._recv(r + 1, tag)
+            acc = _combine(op, acc, other)
+            new_rank = r // 2
+    else:
+        new_rank = r - rem
+    if new_rank >= 0:
+        mask = 1
+        while mask < p2:
+            partner_new = new_rank ^ mask
+            partner = partner_new * 2 if partner_new < rem else partner_new + rem
+            comm._send(acc, partner, tag)
+            other, _ = comm._recv(partner, tag)
+            acc = _combine(op, acc, other)
+            mask <<= 1
+    if r < 2 * rem:
+        if r % 2 == 0:
+            comm._send(acc, r + 1, tag)
+        else:
+            acc, _ = comm._recv(r - 1, tag)
+    return acc
+
+
+@collective_algorithm("allreduce", "reduce_bcast", cost=_cost_reduce_bcast,
+                      description="binomial reduce to rank 0 followed by a "
+                                  "binomial broadcast of the result")
+def allreduce_reduce_bcast(comm, value: Any, op: Op) -> Any:
+    result = reduce_binomial(comm, value, op, 0)
+    return bcast_binomial(comm, result, 0)
+
+
+@collective_algorithm("allreduce", "ring", cost=_cost_allreduce_ring,
+                      description="ring reduce-scatter + ring allgather over "
+                                  "p chunks; bandwidth-optimal for large 1-D "
+                                  "arrays")
+def allreduce_ring(comm, value: Any, op: Op) -> Any:
+    p, r = comm.size, comm.rank
+    # The chunked schedule needs a splittable, elementwise-combinable buffer;
+    # the eligibility test uses only symmetric facts (dtype/shape must match
+    # across ranks per MPI semantics), so all ranks take the same branch.
+    if not (op.commutative and isinstance(value, np.ndarray)
+            and value.ndim == 1 and len(value) >= p):
+        return allreduce_reduce_bcast(comm, value, op)
+    tag = comm._next_coll_tag(CODE_ALLREDUCE)
+    if p == 1:
+        return value
+    chunks = [c.copy() for c in np.array_split(value, p)]
+    right, left = (r + 1) % p, (r - 1) % p
+    # Reduce-scatter: after p−1 steps rank r owns the full reduction of
+    # chunk (r+1) mod p.
+    for i in range(p - 1):
+        comm._send(chunks[(r - i) % p], right, tag)
+        other, _ = comm._recv(left, tag)
+        idx = (r - i - 1) % p
+        chunks[idx] = _combine(op, chunks[idx], other)
+    # Allgather: circulate the reduced chunks.
+    for i in range(p - 1):
+        comm._send(chunks[(r + 1 - i) % p], right, tag)
+        other, _ = comm._recv(left, tag)
+        chunks[(r - i) % p] = np.asarray(other)
+    return np.concatenate(chunks)
+
+
+@collective_algorithm("scan", "doubling", default=True,
+                      cost=_cost_scan_doubling,
+                      description="Hillis–Steele inclusive prefix doubling")
+def scan_doubling(comm, value: Any, op: Op) -> Any:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_SCAN)
+    result = value
+    acc = value
+    mask = 1
+    while mask < p:
+        dst, src = r + mask, r - mask
+        if dst < p:
+            comm._send(acc, dst, tag)
+        if src >= 0:
+            other, _ = comm._recv(src, tag)
+            result = _combine(op, other, result)
+            acc = _combine(op, other, acc)
+        mask <<= 1
+    return result
+
+
+@collective_algorithm("exscan", "doubling", default=True,
+                      cost=_cost_scan_doubling,
+                      description="Hillis–Steele exclusive prefix doubling; "
+                                  "rank 0 gets the operator identity")
+def exscan_doubling(comm, value: Any, op: Op) -> Any:
+    p, r = comm.size, comm.rank
+    tag = comm._next_coll_tag(CODE_EXSCAN)
+    result: Any = None
+    acc = value
+    mask = 1
+    while mask < p:
+        dst, src = r + mask, r - mask
+        if dst < p:
+            comm._send(acc, dst, tag)
+        if src >= 0:
+            other, _ = comm._recv(src, tag)
+            result = other if result is None else _combine(op, other, result)
+            acc = _combine(op, other, acc)
+        mask <<= 1
+    if r == 0:
+        if op.identity is None:
+            return None
+        if isinstance(value, np.ndarray):
+            return np.full_like(value, op.identity)
+        return type(value)(op.identity) if not isinstance(value, bool) else op.identity
+    return result

@@ -1,27 +1,35 @@
-"""Raw collective operations, implemented over point-to-point messaging.
+"""Raw collective operations — thin façade over the algorithm registry.
 
-Each collective uses a textbook algorithm whose *cost structure* matches what
-production MPI implementations use, because the paper's evaluation shapes
-(Fig. 8, Fig. 10) depend on them:
+Historically this module *was* the implementation: one textbook algorithm per
+collective.  Those bodies now live in :mod:`repro.mpi.algorithms` (one module
+per collective family, ≥2 registered implementations for the headline ops),
+and each free function here dispatches through the machine's
+:class:`~repro.mpi.engine.CollectiveEngine` — exactly like the counted public
+methods on :class:`~repro.mpi.context.RawComm` do.  The free functions remain
+the entry point for *internal* collective use (communicator management, RMA
+fences, the non-blocking state machines), so internal callers honor forced
+algorithms and tuning tables too.
+
+Under the default policy the engine selects the seed's original algorithms,
+whose cost structure the paper's evaluation shapes depend on:
 
 ==================  =============================  ==========================
-collective          algorithm                      latency / volume
+collective          default algorithm              latency / volume
 ==================  =============================  ==========================
 barrier             dissemination                  ⌈log₂ p⌉ · α
 bcast / reduce      binomial tree                  ⌈log₂ p⌉ · (α + nβ)
 allreduce           recursive doubling (+fold)     ⌈log₂ p⌉ · (α + nβ)
 allgather           Bruck                          ⌈log₂ p⌉ · α + (p−1)nβ
 allgatherv          ring                           (p−1) · (α + n̄β)
-gather(v)/scatter(v) binomial / linear at root     see code
+gather(v)/scatter(v) binomial / linear at root     see repro.mpi.algorithms
 alltoall(v)         pairwise exchange              (p−1) · α + volume·β
 alltoallw           pairwise + datatype penalty    (p−1) · (α + α_dtype) + …
 scan / exscan       Hillis–Steele doubling         ⌈log₂ p⌉ rounds
 ==================  =============================  ==========================
 
-All functions are *internal*: they are reached through the counted public
-methods on :class:`~repro.mpi.context.RawComm` and use the uncounted
-``_send``/``_recv`` primitives, so PMPI counters see one call per collective
-(exactly like the C profiling interface).
+All functions are *internal*: they use the uncounted ``_send``/``_recv``
+primitives, so PMPI counters see one call per collective (exactly like the C
+profiling interface).
 """
 
 from __future__ import annotations
@@ -30,475 +38,129 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.mpi.datatypes import ensure_1d_array
-from repro.mpi.errors import RawTruncationError, RawUsageError
+from repro.mpi.algorithms.common import (  # noqa: F401  (re-exported API)
+    CODE_ALLGATHER,
+    CODE_ALLGATHERV,
+    CODE_ALLREDUCE,
+    CODE_ALLTOALL,
+    CODE_ALLTOALLV,
+    CODE_ALLTOALLW,
+    CODE_BARRIER,
+    CODE_BCAST,
+    CODE_EXSCAN,
+    CODE_GATHER,
+    CODE_GATHERV,
+    CODE_NEIGHBOR,
+    CODE_NEIGHBORV,
+    CODE_REDUCE,
+    CODE_SCAN,
+    CODE_SCATTER,
+    CODE_SCATTERV,
+    _combine,
+    _validate_root,
+)
+from repro.mpi.algorithms.neighbor import _require_topology  # noqa: F401
 from repro.mpi.ops import Op
 
-# Collective op codes (folded into reserved tags).
-CODE_BARRIER = 0
-CODE_BCAST = 1
-CODE_GATHER = 2
-CODE_GATHERV = 3
-CODE_SCATTER = 4
-CODE_SCATTERV = 5
-CODE_ALLGATHER = 6
-CODE_ALLGATHERV = 7
-CODE_ALLTOALL = 8
-CODE_ALLTOALLV = 9
-CODE_ALLTOALLW = 10
-CODE_REDUCE = 11
-CODE_ALLREDUCE = 12
-CODE_SCAN = 13
-CODE_EXSCAN = 14
-CODE_NEIGHBOR = 15
-CODE_NEIGHBORV = 16
-
-
-def _validate_root(comm, root: int) -> None:
-    if not 0 <= root < comm.size:
-        raise RawUsageError(f"root {root} out of range for size {comm.size}")
-
-
-# ---------------------------------------------------------------------------
-# synchronization
-# ---------------------------------------------------------------------------
 
 def barrier(comm) -> None:
-    """Dissemination barrier: ⌈log₂ p⌉ rounds for any p."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_BARRIER)
-    if p == 1:
-        return
-    k = 1
-    while k < p:
-        comm._send(None, (r + k) % p, tag)
-        comm._recv((r - k) % p, tag)
-        k <<= 1
+    """Engine-selected barrier (default: dissemination)."""
+    comm._coll_algo("barrier").fn(comm)
 
-
-# ---------------------------------------------------------------------------
-# one-to-all / all-to-one
-# ---------------------------------------------------------------------------
 
 def bcast(comm, payload: Any, root: int) -> Any:
-    """Binomial-tree broadcast."""
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_BCAST)
-    if p == 1:
-        return payload
-    vr = (r - root) % p
-    mask = 1
-    while mask < p:
-        if vr & mask:
-            src = (vr - mask + root) % p
-            payload, _ = comm._recv(src, tag)
-            break
-        mask <<= 1
-    mask >>= 1
-    while mask > 0:
-        child = vr + mask
-        if child < p:
-            comm._send(payload, (child + root) % p, tag)
-        mask >>= 1
-    return payload
+    """Engine-selected broadcast (default: binomial tree)."""
+    return comm._coll_algo("bcast").fn(comm, payload, root)
 
 
 def gather(comm, payload: Any, root: int) -> Optional[list]:
-    """Binomial-tree gather; returns the ordered list at the root, else ``None``."""
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_GATHER)
-    vr = (r - root) % p
-    items: list[tuple[int, Any]] = [(vr, payload)]
-    mask = 1
-    while mask < p:
-        if vr & mask == 0:
-            src_vr = vr | mask
-            if src_vr < p:
-                other, _ = comm._recv((src_vr + root) % p, tag)
-                items.extend(other)
-        else:
-            comm._send(items, ((vr & ~mask) + root) % p, tag)
-            return None
-        mask <<= 1
-    out: list = [None] * p
-    for v, pl in items:
-        out[(v + root) % p] = pl
-    return out
+    """Engine-selected gather (default: binomial tree)."""
+    return comm._coll_algo("gather", payload=payload).fn(comm, payload, root)
 
 
 def gatherv(comm, sendbuf: np.ndarray, recvcounts: Optional[Sequence[int]],
             root: int) -> Optional[np.ndarray]:
-    """Linear gatherv: every rank sends its block directly to the root.
-
-    ``recvcounts`` must be provided at the root (C semantics) and is checked
-    against the actually-arriving message sizes.
-    """
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_GATHERV)
-    sendbuf = ensure_1d_array(sendbuf)
-    if r != root:
-        comm._send(sendbuf, root, tag)
-        return None
-    if recvcounts is None:
-        raise RawUsageError("gatherv requires recvcounts at the root")
-    if len(recvcounts) != p:
-        raise RawUsageError(f"recvcounts must have length {p}")
-    parts: list[Optional[np.ndarray]] = [None] * p
-    parts[r] = sendbuf
-    for src in range(p):
-        if src == r:
-            continue
-        block, _ = comm._recv(src, tag)
-        parts[src] = ensure_1d_array(block)
-    for src, block in enumerate(parts):
-        if len(block) > recvcounts[src]:
-            raise RawTruncationError(
-                f"gatherv: message from rank {src} has {len(block)} items, "
-                f"recvcounts allows {recvcounts[src]}"
-            )
-    return np.concatenate(parts) if parts else np.empty(0)
+    """Engine-selected gatherv (default: linear to the root)."""
+    return comm._coll_algo("gatherv", payload=sendbuf).fn(
+        comm, sendbuf, recvcounts, root)
 
 
 def scatter(comm, payloads: Optional[Sequence[Any]], root: int) -> Any:
-    """Linear scatter from the root."""
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_SCATTER)
-    if r == root:
-        if payloads is None or len(payloads) != p:
-            raise RawUsageError(f"scatter root must supply exactly {p} payloads")
-        for dst in range(p):
-            if dst != root:
-                comm._send(payloads[dst], dst, tag)
-        return payloads[root]
-    payload, _ = comm._recv(root, tag)
-    return payload
+    """Engine-selected scatter (default: linear from the root)."""
+    return comm._coll_algo("scatter").fn(comm, payloads, root)
 
 
 def scatterv(comm, sendbuf: Optional[np.ndarray],
              sendcounts: Optional[Sequence[int]], root: int) -> np.ndarray:
-    """Linear scatterv: the root slices ``sendbuf`` by ``sendcounts``."""
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_SCATTERV)
-    if r == root:
-        if sendbuf is None or sendcounts is None or len(sendcounts) != p:
-            raise RawUsageError(f"scatterv root must supply sendbuf and {p} sendcounts")
-        sendbuf = ensure_1d_array(sendbuf)
-        displs = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).astype(int)
-        if displs[-1] + sendcounts[-1] > len(sendbuf):
-            raise RawUsageError("scatterv sendcounts exceed sendbuf length")
-        for dst in range(p):
-            if dst != root:
-                comm._send(sendbuf[displs[dst]: displs[dst] + sendcounts[dst]], dst, tag)
-        return sendbuf[displs[root]: displs[root] + sendcounts[root]].copy()
-    block, _ = comm._recv(root, tag)
-    return ensure_1d_array(block)
+    """Engine-selected scatterv (default: linear from the root)."""
+    return comm._coll_algo("scatterv").fn(comm, sendbuf, sendcounts, root)
 
-
-# ---------------------------------------------------------------------------
-# all-to-all family
-# ---------------------------------------------------------------------------
 
 def allgather(comm, payload: Any) -> list:
-    """Bruck's allgather: ⌈log₂ p⌉ rounds, returns payloads indexed by rank."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_ALLGATHER)
-    blocks: list = [payload]
-    k = 1
-    while k < p:
-        send_cnt = min(k, p - k)
-        comm._send(blocks[:send_cnt], (r - k) % p, tag)
-        other, _ = comm._recv((r + k) % p, tag)
-        blocks.extend(other)
-        k <<= 1
-    out: list = [None] * p
-    for i in range(p):
-        out[(r + i) % p] = blocks[i]
-    return out
+    """Engine-selected allgather (default: Bruck)."""
+    return comm._coll_algo("allgather", payload=payload).fn(comm, payload)
 
 
 def allgatherv(comm, sendbuf: np.ndarray, recvcounts: Sequence[int]) -> np.ndarray:
-    """Ring allgatherv: p−1 rounds; requires ``recvcounts`` on every rank."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_ALLGATHERV)
-    sendbuf = ensure_1d_array(sendbuf)
-    if len(recvcounts) != p:
-        raise RawUsageError(f"recvcounts must have length {p}")
-    if len(sendbuf) > recvcounts[r]:
-        raise RawTruncationError(
-            f"allgatherv: local block has {len(sendbuf)} items but recvcounts[{r}] "
-            f"= {recvcounts[r]}"
-        )
-    parts: list[Optional[np.ndarray]] = [None] * p
-    parts[r] = sendbuf
-    cur = sendbuf
-    right, left = (r + 1) % p, (r - 1) % p
-    for i in range(1, p):
-        comm._send(cur, right, tag)
-        cur, _ = comm._recv(left, tag)
-        cur = ensure_1d_array(cur)
-        src = (r - i) % p
-        if len(cur) > recvcounts[src]:
-            raise RawTruncationError(
-                f"allgatherv: block from rank {src} has {len(cur)} items, "
-                f"recvcounts allows {recvcounts[src]}"
-            )
-        parts[src] = cur
-    return np.concatenate(parts) if p > 1 else sendbuf.copy()
+    """Engine-selected allgatherv (default: ring)."""
+    algo = comm._coll_algo(
+        "allgatherv",
+        hint=lambda: int(np.sum(recvcounts)) * np.asarray(sendbuf).itemsize,
+    )
+    return algo.fn(comm, sendbuf, recvcounts)
 
 
 def alltoall(comm, payloads: Sequence[Any]) -> list:
-    """Pairwise-exchange alltoall: p−1 rounds, Θ(p)·α latency."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_ALLTOALL)
-    if len(payloads) != p:
-        raise RawUsageError(f"alltoall requires exactly {p} payloads")
-    out: list = [None] * p
-    out[r] = payloads[r]
-    for i in range(1, p):
-        dst, src = (r + i) % p, (r - i) % p
-        comm._send(payloads[dst], dst, tag)
-        out[src], _ = comm._recv(src, tag)
-    return out
+    """Engine-selected alltoall (default: pairwise exchange)."""
+    return comm._coll_algo("alltoall", payload=payloads).fn(comm, payloads)
 
 
 def alltoallv(comm, sendbuf: np.ndarray, sendcounts: Sequence[int],
               recvcounts: Sequence[int]) -> np.ndarray:
-    """Pairwise-exchange alltoallv over array slices.
+    """Engine-selected alltoallv (default: pairwise exchange).
 
     Zero-size blocks still cost a message — this is the Θ(p·α) term that
     motivates the sparse and grid all-to-all plugins (paper §V-A).
     """
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_ALLTOALLV)
-    sendbuf = ensure_1d_array(sendbuf)
-    if len(sendcounts) != p or len(recvcounts) != p:
-        raise RawUsageError(f"sendcounts/recvcounts must have length {p}")
-    sdispls = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).astype(int)
-    if sdispls[-1] + sendcounts[-1] > len(sendbuf):
-        raise RawUsageError("alltoallv sendcounts exceed sendbuf length")
-    parts: list[Optional[np.ndarray]] = [None] * p
-    parts[r] = sendbuf[sdispls[r]: sdispls[r] + sendcounts[r]]
-    for i in range(1, p):
-        dst, src = (r + i) % p, (r - i) % p
-        comm._send(sendbuf[sdispls[dst]: sdispls[dst] + sendcounts[dst]], dst, tag)
-        block, _ = comm._recv(src, tag)
-        block = ensure_1d_array(block)
-        if len(block) > recvcounts[src]:
-            raise RawTruncationError(
-                f"alltoallv: message from rank {src} has {len(block)} items, "
-                f"recvcounts allows {recvcounts[src]}"
-            )
-        parts[src] = block
-    return np.concatenate(parts) if p > 1 else np.asarray(parts[r]).copy()
+    algo = comm._coll_algo(
+        "alltoallv",
+        hint=lambda: int(np.sum(sendcounts)) * np.asarray(sendbuf).itemsize,
+    )
+    return algo.fn(comm, sendbuf, sendcounts, recvcounts)
 
 
 def alltoallw(comm, send_blocks: Sequence[Any]) -> list:
-    """Pairwise alltoallw with the derived-datatype penalty.
-
-    Every peer costs ``alpha + dtype_alpha`` plus pack/unpack per byte — even
-    peers with empty blocks.  This is the path MPL's variable-size collectives
-    take internally and the documented reason for their overhead.
-    """
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_ALLTOALLW)
-    if len(send_blocks) != p:
-        raise RawUsageError(f"alltoallw requires exactly {p} blocks")
-    out: list = [None] * p
-    out[r] = send_blocks[r]
-    # Even the self-block pays the datatype setup cost.
-    comm.clock.compute(comm.machine.cost_model.dtype_alpha)
-    for i in range(1, p):
-        dst, src = (r + i) % p, (r - i) % p
-        comm._deposit(send_blocks[dst], dst, tag, packed=True)
-        out[src], _ = comm._recv(src, tag)
-    return out
-
-
-# ---------------------------------------------------------------------------
-# reductions
-# ---------------------------------------------------------------------------
-
-def _combine(op: Op, a: Any, b: Any) -> Any:
-    """Apply ``op`` elementwise, preserving array-ness of the inputs."""
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        return op(np.asarray(a), np.asarray(b))
-    return op(a, b)
+    """Engine-selected alltoallw (pairwise with the derived-datatype penalty)."""
+    return comm._coll_algo("alltoallw", payload=send_blocks).fn(comm, send_blocks)
 
 
 def reduce(comm, value: Any, op: Op, root: int) -> Any:
-    """Binomial-tree reduce (commutative ops); rank-ordered fold otherwise."""
-    _validate_root(comm, root)
-    p, r = comm.size, comm.rank
-    if not op.commutative:
-        # Non-commutative ops must be applied in canonical rank order.
-        items = gather(comm, value, root)
-        if r != root:
-            return None
-        acc = items[0]
-        for item in items[1:]:
-            acc = _combine(op, acc, item)
-        return acc
-    tag = comm._next_coll_tag(CODE_REDUCE)
-    vr = (r - root) % p
-    acc = value
-    mask = 1
-    while mask < p:
-        if vr & mask == 0:
-            src_vr = vr | mask
-            if src_vr < p:
-                other, _ = comm._recv((src_vr + root) % p, tag)
-                acc = _combine(op, acc, other)
-        else:
-            comm._send(acc, ((vr & ~mask) + root) % p, tag)
-            return None
-        mask <<= 1
-    return acc
+    """Engine-selected reduce (default: binomial; ordered fold if non-commutative)."""
+    return comm._coll_algo("reduce", payload=value).fn(comm, value, op, root)
 
 
 def allreduce(comm, value: Any, op: Op) -> Any:
-    """Recursive-doubling allreduce with non-power-of-two folding."""
-    p, r = comm.size, comm.rank
-    if not op.commutative:
-        result = reduce(comm, value, op, 0)
-        return bcast(comm, result, 0)
-    tag = comm._next_coll_tag(CODE_ALLREDUCE)
-    if p == 1:
-        return value
-    p2 = 1 << (p.bit_length() - 1)
-    rem = p - p2
-    acc = value
-    new_rank = -1
-    if r < 2 * rem:
-        if r % 2 == 1:
-            comm._send(acc, r - 1, tag)
-        else:
-            other, _ = comm._recv(r + 1, tag)
-            acc = _combine(op, acc, other)
-            new_rank = r // 2
-    else:
-        new_rank = r - rem
-    if new_rank >= 0:
-        mask = 1
-        while mask < p2:
-            partner_new = new_rank ^ mask
-            partner = partner_new * 2 if partner_new < rem else partner_new + rem
-            comm._send(acc, partner, tag)
-            other, _ = comm._recv(partner, tag)
-            acc = _combine(op, acc, other)
-            mask <<= 1
-    if r < 2 * rem:
-        if r % 2 == 0:
-            comm._send(acc, r + 1, tag)
-        else:
-            acc, _ = comm._recv(r - 1, tag)
-    return acc
+    """Engine-selected allreduce (default: recursive doubling)."""
+    return comm._coll_algo("allreduce", payload=value).fn(comm, value, op)
 
 
 def scan(comm, value: Any, op: Op) -> Any:
-    """Hillis–Steele inclusive prefix reduction (order-preserving)."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_SCAN)
-    result = value
-    acc = value
-    mask = 1
-    while mask < p:
-        dst, src = r + mask, r - mask
-        if dst < p:
-            comm._send(acc, dst, tag)
-        if src >= 0:
-            other, _ = comm._recv(src, tag)
-            result = _combine(op, other, result)
-            acc = _combine(op, other, acc)
-        mask <<= 1
-    return result
+    """Engine-selected inclusive prefix reduction (Hillis–Steele)."""
+    return comm._coll_algo("scan", payload=value).fn(comm, value, op)
 
 
 def exscan(comm, value: Any, op: Op) -> Any:
-    """Exclusive prefix reduction; rank 0 receives ``op.identity`` (or ``None``)."""
-    p, r = comm.size, comm.rank
-    tag = comm._next_coll_tag(CODE_EXSCAN)
-    result: Any = None
-    acc = value
-    mask = 1
-    while mask < p:
-        dst, src = r + mask, r - mask
-        if dst < p:
-            comm._send(acc, dst, tag)
-        if src >= 0:
-            other, _ = comm._recv(src, tag)
-            result = other if result is None else _combine(op, other, result)
-            acc = _combine(op, other, acc)
-        mask <<= 1
-    if r == 0:
-        if op.identity is None:
-            return None
-        if isinstance(value, np.ndarray):
-            return np.full_like(value, op.identity)
-        return type(value)(op.identity) if not isinstance(value, bool) else op.identity
-    return result
-
-
-# ---------------------------------------------------------------------------
-# neighborhood collectives
-# ---------------------------------------------------------------------------
-
-def _require_topology(comm) -> tuple[tuple[int, ...], tuple[int, ...]]:
-    topo = comm.topology
-    if topo is None:
-        raise RawUsageError(
-            "neighborhood collectives require a dist-graph communicator "
-            "(use dist_graph_create_adjacent)"
-        )
-    return topo
+    """Engine-selected exclusive prefix reduction (Hillis–Steele)."""
+    return comm._coll_algo("exscan", payload=value).fn(comm, value, op)
 
 
 def neighbor_alltoall(comm, payloads: Sequence[Any]) -> list:
-    """Exchange one payload per out-neighbor; receive one per in-neighbor."""
-    sources, destinations = _require_topology(comm)
-    tag = comm._next_coll_tag(CODE_NEIGHBOR)
-    if len(payloads) != len(destinations):
-        raise RawUsageError(
-            f"neighbor_alltoall requires {len(destinations)} payloads "
-            f"(one per destination)"
-        )
-    for payload, dst in zip(payloads, destinations):
-        comm._send(payload, dst, tag)
-    out = []
-    for src in sources:
-        payload, _ = comm._recv(src, tag)
-        out.append(payload)
-    return out
+    """Direct neighborhood exchange (one message per neighbor)."""
+    return comm._coll_algo("neighbor_alltoall").fn(comm, payloads)
 
 
 def neighbor_alltoallv(comm, sendbuf: np.ndarray, sendcounts: Sequence[int],
                        recvcounts: Sequence[int]) -> np.ndarray:
-    """Variable-size neighborhood exchange: cost Θ(degree), not Θ(p)."""
-    sources, destinations = _require_topology(comm)
-    tag = comm._next_coll_tag(CODE_NEIGHBORV)
-    sendbuf = ensure_1d_array(sendbuf)
-    if len(sendcounts) != len(destinations):
-        raise RawUsageError("sendcounts must match the number of destinations")
-    if len(recvcounts) != len(sources):
-        raise RawUsageError("recvcounts must match the number of sources")
-    displs = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).astype(int) \
-        if len(sendcounts) else np.zeros(0, dtype=int)
-    for j, dst in enumerate(destinations):
-        comm._send(sendbuf[displs[j]: displs[j] + sendcounts[j]], dst, tag)
-    parts = []
-    for i, src in enumerate(sources):
-        block, _ = comm._recv(src, tag)
-        block = ensure_1d_array(block)
-        if len(block) > recvcounts[i]:
-            raise RawTruncationError(
-                f"neighbor_alltoallv: message from rank {src} has {len(block)} "
-                f"items, recvcounts allows {recvcounts[i]}"
-            )
-        parts.append(block)
-    if not parts:
-        return sendbuf[:0].copy()
-    return np.concatenate(parts)
+    """Direct variable-size neighborhood exchange: cost Θ(degree), not Θ(p)."""
+    return comm._coll_algo("neighbor_alltoallv").fn(
+        comm, sendbuf, sendcounts, recvcounts)

@@ -18,6 +18,7 @@ from typing import Any, Hashable, Optional, Sequence
 import numpy as np
 
 from repro.mpi import collectives as _coll
+from repro.mpi.algorithms import SINGLETON, Algorithm
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, collective_tag, validate_user_tag
 from repro.mpi.costmodel import Clock
 from repro.mpi.datatypes import payload_nbytes, snapshot
@@ -55,6 +56,9 @@ class RawComm:
         self._coll_seq = 0
         self._mgmt_seq = 0
         self._ibarrier_epoch = 0
+        #: rank-local scoped tuning rules (``Communicator.use_algorithms``);
+        #: rank-local so installing/removing them can never race other ranks
+        self._coll_tuning: dict[str, tuple] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -86,7 +90,8 @@ class RawComm:
     def _count(self, op: str) -> None:
         self.machine.profile[self.world_rank][op] += 1
 
-    def _span(self, op: str, *, peers=(), tag=None, payload=None, sent=0):
+    def _span(self, op: str, *, peers=(), tag=None, payload=None, sent=0,
+              algorithm=None):
         """Open a trace span for one raw operation.
 
         Returns the shared no-op span when tracing is disabled, so untraced
@@ -99,7 +104,36 @@ class RawComm:
             return _NULL_SPAN
         if payload is not None:
             sent = _sum_payload_bytes(payload)
-        return tracer.span(self, op, peers=peers, tag=tag, sent=sent)
+        return tracer.span(self, op, peers=peers, tag=tag, sent=sent,
+                           algorithm=algorithm)
+
+    def _coll_algo(self, op: str, payload: Any = None, hint=None) -> Algorithm:
+        """Resolve which algorithm runs one collective call.
+
+        Singleton communicators always take the pure-local fast path (even
+        under forced selection).  Otherwise the machine's engine decides;
+        the ``nbytes`` hint is only computed when some configured policy will
+        actually look at it, so the pure-default hot path never sizes
+        payloads.  ``payload`` sizes a local buffer; ``hint`` is a callable
+        for ops whose convention is not the local payload (e.g. allgatherv's
+        total gathered volume).  Rooted scatter-side ops (bcast, scatter,
+        scatterv) pass neither: only the root knows the payload, so all ranks
+        must select with nbytes=0 to stay SPMD-consistent.
+        """
+        if self.state.size == 1:
+            algo = SINGLETON.get(op)
+            if algo is not None:
+                return algo
+        engine = self.machine.engine
+        scoped = self._coll_tuning.get(op)
+        nbytes = 0
+        if engine.size_sensitive(op, self.comm_id, scoped=scoped):
+            if hint is not None:
+                nbytes = int(hint())
+            elif payload is not None:
+                nbytes = _sum_payload_bytes(payload)
+        return engine.resolve(op, p=self.state.size, nbytes=nbytes,
+                              comm_id=self.comm_id, scoped=scoped)
 
     def _check_usable(self) -> None:
         if self.state.revoked.is_set():
@@ -250,11 +284,12 @@ class RawComm:
     # -- synchronization -----------------------------------------------------
 
     def barrier(self) -> None:
-        """Dissemination barrier."""
+        """Barrier (default algorithm: dissemination)."""
         self._count("barrier")
         self._check_usable()
-        with self._span("barrier", peers="all"):
-            _coll.barrier(self)
+        algo = self._coll_algo("barrier")
+        with self._span("barrier", peers="all", algorithm=algo.name):
+            algo.fn(self)
 
     def ibarrier(self) -> RawRequest:
         """Non-blocking barrier."""
@@ -274,9 +309,11 @@ class RawComm:
     def bcast(self, payload: Any, root: int = 0) -> Any:
         self._count("bcast")
         self._check_usable()
+        algo = self._coll_algo("bcast")
         with self._span("bcast", peers=(root,),
-                        payload=payload if self._rank == root else None) as sp:
-            out = _coll.bcast(self, payload, root)
+                        payload=payload if self._rank == root else None,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, payload, root)
             if self._rank != root:
                 sp.set(recvd_payload=out)
         return out
@@ -284,8 +321,10 @@ class RawComm:
     def gather(self, payload: Any, root: int = 0) -> Optional[list]:
         self._count("gather")
         self._check_usable()
-        with self._span("gather", peers=(root,), payload=payload) as sp:
-            out = _coll.gather(self, payload, root)
+        algo = self._coll_algo("gather", payload=payload)
+        with self._span("gather", peers=(root,), payload=payload,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, payload, root)
             if out is not None:
                 sp.set(recvd_payload=out)
         return out
@@ -295,8 +334,10 @@ class RawComm:
         """Variable gather.  ``recvcounts`` is required at the root (C semantics)."""
         self._count("gatherv")
         self._check_usable()
-        with self._span("gatherv", peers=(root,), payload=sendbuf) as sp:
-            out = _coll.gatherv(self, sendbuf, recvcounts, root)
+        algo = self._coll_algo("gatherv", payload=sendbuf)
+        with self._span("gatherv", peers=(root,), payload=sendbuf,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, sendbuf, recvcounts, root)
             if out is not None:
                 sp.set(recvd_payload=out)
         return out
@@ -304,9 +345,11 @@ class RawComm:
     def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Any:
         self._count("scatter")
         self._check_usable()
+        algo = self._coll_algo("scatter")
         with self._span("scatter", peers=(root,),
-                        payload=payloads if self._rank == root else None) as sp:
-            out = _coll.scatter(self, payloads, root)
+                        payload=payloads if self._rank == root else None,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, payloads, root)
             sp.set(recvd_payload=out)
         return out
 
@@ -314,18 +357,22 @@ class RawComm:
                  sendcounts: Optional[Sequence[int]], root: int = 0) -> np.ndarray:
         self._count("scatterv")
         self._check_usable()
+        algo = self._coll_algo("scatterv")
         with self._span("scatterv", peers=(root,),
-                        payload=sendbuf if self._rank == root else None) as sp:
-            out = _coll.scatterv(self, sendbuf, sendcounts, root)
+                        payload=sendbuf if self._rank == root else None,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, sendbuf, sendcounts, root)
             sp.set(recvd_payload=out)
         return out
 
     def allgather(self, payload: Any) -> list:
-        """Allgather of one payload per rank (Bruck's algorithm: ⌈log p⌉ rounds)."""
+        """Allgather of one payload per rank (default: Bruck, ⌈log p⌉ rounds)."""
         self._count("allgather")
         self._check_usable()
-        with self._span("allgather", peers="all", payload=payload) as sp:
-            out = _coll.allgather(self, payload)
+        algo = self._coll_algo("allgather", payload=payload)
+        with self._span("allgather", peers="all", payload=payload,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, payload)
             sp.set(recvd_payload=out)
         return out
 
@@ -334,16 +381,23 @@ class RawComm:
         """Variable allgather.  ``recvcounts`` is required on all ranks (C semantics)."""
         self._count("allgatherv")
         self._check_usable()
-        with self._span("allgatherv", peers="all", payload=sendbuf) as sp:
-            out = _coll.allgatherv(self, sendbuf, recvcounts)
+        algo = self._coll_algo(
+            "allgatherv",
+            hint=lambda: int(np.sum(recvcounts)) * np.asarray(sendbuf).itemsize,
+        )
+        with self._span("allgatherv", peers="all", payload=sendbuf,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, sendbuf, recvcounts)
             sp.set(recvd_payload=out)
         return out
 
     def alltoall(self, payloads: Sequence[Any]) -> list:
         self._count("alltoall")
         self._check_usable()
-        with self._span("alltoall", peers="all", payload=payloads) as sp:
-            out = _coll.alltoall(self, payloads)
+        algo = self._coll_algo("alltoall", payload=payloads)
+        with self._span("alltoall", peers="all", payload=payloads,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, payloads)
             sp.set(recvd_payload=out)
         return out
 
@@ -356,8 +410,13 @@ class RawComm:
         """
         self._count("alltoallv")
         self._check_usable()
-        with self._span("alltoallv", peers="all", payload=sendbuf) as sp:
-            out = _coll.alltoallv(self, sendbuf, sendcounts, recvcounts)
+        algo = self._coll_algo(
+            "alltoallv",
+            hint=lambda: int(np.sum(sendcounts)) * np.asarray(sendbuf).itemsize,
+        )
+        with self._span("alltoallv", peers="all", payload=sendbuf,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, sendbuf, sendcounts, recvcounts)
             sp.set(recvd_payload=out)
         return out
 
@@ -370,16 +429,20 @@ class RawComm:
         """
         self._count("alltoallw")
         self._check_usable()
-        with self._span("alltoallw", peers="all", payload=send_blocks) as sp:
-            out = _coll.alltoallw(self, send_blocks)
+        algo = self._coll_algo("alltoallw", payload=send_blocks)
+        with self._span("alltoallw", peers="all", payload=send_blocks,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, send_blocks)
             sp.set(recvd_payload=out)
         return out
 
     def reduce(self, value: Any, op: Op, root: int = 0) -> Any:
         self._count("reduce")
         self._check_usable()
-        with self._span("reduce", peers=(root,), payload=value) as sp:
-            out = _coll.reduce(self, value, op, root)
+        algo = self._coll_algo("reduce", payload=value)
+        with self._span("reduce", peers=(root,), payload=value,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, value, op, root)
             if self._rank == root:
                 sp.set(recvd_payload=out)
         return out
@@ -387,8 +450,10 @@ class RawComm:
     def allreduce(self, value: Any, op: Op) -> Any:
         self._count("allreduce")
         self._check_usable()
-        with self._span("allreduce", peers="all", payload=value) as sp:
-            out = _coll.allreduce(self, value, op)
+        algo = self._coll_algo("allreduce", payload=value)
+        with self._span("allreduce", peers="all", payload=value,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, value, op)
             sp.set(recvd_payload=out)
         return out
 
@@ -396,8 +461,10 @@ class RawComm:
         """Inclusive prefix reduction."""
         self._count("scan")
         self._check_usable()
-        with self._span("scan", peers="all", payload=value) as sp:
-            out = _coll.scan(self, value, op)
+        algo = self._coll_algo("scan", payload=value)
+        with self._span("scan", peers="all", payload=value,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, value, op)
             sp.set(recvd_payload=out)
         return out
 
@@ -405,8 +472,10 @@ class RawComm:
         """Exclusive prefix reduction (undefined — here: identity — on rank 0)."""
         self._count("exscan")
         self._check_usable()
-        with self._span("exscan", peers="all", payload=value) as sp:
-            out = _coll.exscan(self, value, op)
+        algo = self._coll_algo("exscan", payload=value)
+        with self._span("exscan", peers="all", payload=value,
+                        algorithm=algo.name) as sp:
+            out = algo.fn(self, value, op)
             sp.set(recvd_payload=out)
         return out
 
@@ -436,9 +505,10 @@ class RawComm:
         """Exchange one payload with each topology neighbor."""
         self._count("neighbor_alltoall")
         self._check_usable()
+        algo = self._coll_algo("neighbor_alltoall")
         with self._span("neighbor_alltoall", peers="neighbors",
-                        payload=payloads) as sp:
-            out = _coll.neighbor_alltoall(self, payloads)
+                        payload=payloads, algorithm=algo.name) as sp:
+            out = algo.fn(self, payloads)
             sp.set(recvd_payload=out)
         return out
 
@@ -446,9 +516,10 @@ class RawComm:
                            recvcounts: Sequence[int]) -> np.ndarray:
         self._count("neighbor_alltoallv")
         self._check_usable()
+        algo = self._coll_algo("neighbor_alltoallv")
         with self._span("neighbor_alltoallv", peers="neighbors",
-                        payload=sendbuf) as sp:
-            out = _coll.neighbor_alltoallv(self, sendbuf, sendcounts, recvcounts)
+                        payload=sendbuf, algorithm=algo.name) as sp:
+            out = algo.fn(self, sendbuf, sendcounts, recvcounts)
             sp.set(recvd_payload=out)
         return out
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Sequence
 
 from repro.mpi.costmodel import Clock, CostModel
+from repro.mpi.engine import CollectiveEngine
 from repro.mpi.errors import ProcessKilled, RawDeadlockError, RawUsageError
 from repro.mpi.p2p import Mailbox
 from repro.mpi.requests import ArrivalBarrier
@@ -82,12 +83,21 @@ class RunResult:
         """Total number of raw calls of kind ``op`` across ranks."""
         return sum(c.get(op, 0) for c in self.counts)
 
-    def op_bytes(self) -> dict[str, dict[str, float]]:
+    def op_bytes(self, *, by_algorithm: bool = False
+                 ) -> dict[str, dict[str, float]]:
         """Per-op ``{calls, sent, recvd, bytes, seconds}`` aggregates.
 
-        Empty when the run was not traced (``run_mpi(..., trace=True)``).
+        ``by_algorithm=True`` splits collectives by the algorithm the engine
+        selected, keyed ``"op[algorithm]"``.  Empty when the run was not
+        traced (``run_mpi(..., trace=True)``).
         """
-        return self.trace.per_op_totals() if self.trace is not None else {}
+        if self.trace is None:
+            return {}
+        return self.trace.per_op_totals(by_algorithm=by_algorithm)
+
+    def algorithms_used(self) -> dict[str, tuple[str, ...]]:
+        """``{op: algorithm names}`` the engine selected during a traced run."""
+        return self.trace.algorithms_used() if self.trace is not None else {}
 
     def chrome_trace(self) -> dict[str, Any]:
         """Chrome trace-event JSON of the run (requires ``trace=True``)."""
@@ -103,12 +113,18 @@ class Machine:
 
     def __init__(self, num_ranks: int, cost_model: Optional[CostModel] = None,
                  deadline: float = 120.0,
-                 tracer: Optional[TraceRecorder] = None):
+                 tracer: Optional[TraceRecorder] = None,
+                 engine: Optional["CollectiveEngine"] = None):
         if num_ranks < 1:
             raise RawUsageError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.deadline = deadline
+        #: collective algorithm selector; the default engine reads the
+        #: REPRO_COLL_* environment and uses the seed's static algorithm table
+        self.engine: "CollectiveEngine" = (
+            engine if engine is not None else CollectiveEngine(self.cost_model)
+        )
         self.clocks = [Clock(self.cost_model) for _ in range(num_ranks)]
         self.profile: list[Counter] = [Counter() for _ in range(num_ranks)]
         #: structured event recorder; the no-op singleton unless tracing is on
@@ -191,7 +207,8 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
-            trace: bool | TraceRecorder = False) -> RunResult:
+            trace: bool | TraceRecorder = False,
+            engine: Optional[CollectiveEngine] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
@@ -201,6 +218,10 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     ``trace=True`` records a structured per-rank event trace (one event per
     raw MPI call) available as ``result.trace``; pass an existing
     :class:`~repro.mpi.tracing.TraceRecorder` to share one across runs.
+
+    ``engine`` selects collective algorithms per call; the default reads
+    ``REPRO_COLL_*`` overrides from the environment and otherwise keeps the
+    static seed algorithms (see :class:`~repro.mpi.engine.CollectiveEngine`).
     """
     from repro.mpi.context import RawComm
 
@@ -213,7 +234,7 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
         tracer = None
 
     machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline,
-                      tracer=tracer)
+                      tracer=tracer, engine=engine)
     values: list[Any] = [None] * num_ranks
     errors: list[Optional[BaseException]] = [None] * num_ranks
 

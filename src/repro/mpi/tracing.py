@@ -59,6 +59,9 @@ class TraceEvent:
     #: virtual timestamps (seconds) from the issuing rank's clock
     t_start: float
     t_end: float
+    #: name of the collective algorithm the engine selected (``None`` for
+    #: point-to-point and management operations)
+    algorithm: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -79,14 +82,28 @@ def _sum_payload_bytes(obj: Any) -> int:
     return payload_nbytes(obj)
 
 
+#: payload-size bucket edges for the Chrome-trace export (bytes)
+_SIZE_BUCKETS = ((0, "0"), (1024, "<=1KiB"), (64 * 1024, "<=64KiB"),
+                 (1024 * 1024, "<=1MiB"))
+
+
+def size_bucket(nbytes: int) -> str:
+    """Coarse payload-size class used in Chrome-trace event args."""
+    for limit, label in _SIZE_BUCKETS:
+        if nbytes <= limit:
+            return label
+    return ">1MiB"
+
+
 class _Span:
     """Mutable recording handle for one in-flight operation."""
 
     __slots__ = ("_recorder", "_comm", "op", "_peers", "tag", "sent", "recvd",
-                 "_t_start")
+                 "algorithm", "_t_start")
 
     def __init__(self, recorder: "TraceRecorder", comm, op: str,
-                 peers: Sequence[int], tag: Optional[int], sent: int):
+                 peers: Sequence[int], tag: Optional[int], sent: int,
+                 algorithm: Optional[str] = None):
         self._recorder = recorder
         self._comm = comm
         self.op = op
@@ -96,12 +113,14 @@ class _Span:
         self.tag = tag
         self.sent = sent
         self.recvd = 0
+        self.algorithm = algorithm
         self._t_start = 0.0
 
     def set(self, *, peers: Optional[Sequence[int]] = None,
             tag: Optional[int] = None,
             sent: Optional[int] = None, recvd: Optional[int] = None,
-            sent_payload: Any = None, recvd_payload: Any = None) -> None:
+            sent_payload: Any = None, recvd_payload: Any = None,
+            algorithm: Optional[str] = None) -> None:
         """Fill in details only known once the operation progressed.
 
         ``peers`` are communicator-local ranks (resolved to world ranks at
@@ -121,6 +140,8 @@ class _Span:
             self.sent = _sum_payload_bytes(sent_payload)
         if recvd_payload is not None:
             self.recvd = _sum_payload_bytes(recvd_payload)
+        if algorithm is not None:
+            self.algorithm = algorithm
 
     def __enter__(self) -> "_Span":
         self._t_start = self._comm.clock.now
@@ -148,6 +169,7 @@ class _Span:
             recvd=self.recvd,
             t_start=self._t_start,
             t_end=comm.clock.now,
+            algorithm=self.algorithm,
         ))
         return False
 
@@ -182,7 +204,8 @@ class NullTraceRecorder:
     enabled = False
 
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
-             tag: Optional[int] = None, sent: int = 0) -> _NullSpan:
+             tag: Optional[int] = None, sent: int = 0,
+             algorithm: Optional[str] = None) -> _NullSpan:
         return _NULL_SPAN
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
@@ -220,9 +243,10 @@ class TraceRecorder:
     # -- recording ---------------------------------------------------------
 
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
-             tag: Optional[int] = None, sent: int = 0) -> _Span:
+             tag: Optional[int] = None, sent: int = 0,
+             algorithm: Optional[str] = None) -> _Span:
         """Open a recording span; the event is appended when it exits."""
-        return _Span(self, comm, op, peers, tag, sent)
+        return _Span(self, comm, op, peers, tag, sent, algorithm)
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
                peers: Sequence[int] = (), tag: Optional[int] = None,
@@ -252,12 +276,21 @@ class TraceRecorder:
         merged.sort(key=lambda e: (e.t_start, e.world_rank, e.t_end))
         return merged
 
-    def per_op_totals(self) -> dict[str, dict[str, float]]:
-        """Aggregate ``{op: {calls, sent, recvd, bytes, seconds}}`` over ranks."""
+    def per_op_totals(self, *, by_algorithm: bool = False
+                      ) -> dict[str, dict[str, float]]:
+        """Aggregate ``{op: {calls, sent, recvd, bytes, seconds}}`` over ranks.
+
+        With ``by_algorithm=True`` the keys become ``"op[algorithm]"`` for
+        events that carry an algorithm name (collectives), splitting each
+        collective's totals by the implementation the engine selected.
+        """
         out: dict[str, dict[str, float]] = {}
         for per_rank in self._events:
             for e in per_rank:
-                agg = out.setdefault(e.op, {
+                key = e.op
+                if by_algorithm and e.algorithm is not None:
+                    key = f"{e.op}[{e.algorithm}]"
+                agg = out.setdefault(key, {
                     "calls": 0, "sent": 0, "recvd": 0, "bytes": 0,
                     "seconds": 0.0,
                 })
@@ -267,6 +300,15 @@ class TraceRecorder:
                 agg["bytes"] += e.nbytes
                 agg["seconds"] += e.duration
         return out
+
+    def algorithms_used(self) -> dict[str, tuple[str, ...]]:
+        """``{op: sorted algorithm names}`` over all collective events."""
+        seen: dict[str, set[str]] = {}
+        for per_rank in self._events:
+            for e in per_rank:
+                if e.algorithm is not None:
+                    seen.setdefault(e.op, set()).add(e.algorithm)
+        return {op: tuple(sorted(names)) for op, names in sorted(seen.items())}
 
     def per_rank_bytes(self) -> list[dict[str, int]]:
         """Per-rank ``{"sent": ..., "recvd": ...}`` payload totals."""
@@ -303,6 +345,9 @@ class TraceRecorder:
             }
             if e.tag is not None:
                 args["tag"] = e.tag
+            if e.algorithm is not None:
+                args["algorithm"] = e.algorithm
+                args["size_bucket"] = size_bucket(e.nbytes)
             trace_events.append({
                 "name": e.op,
                 "cat": "timer" if e.op.startswith("timer:") else "mpi",
@@ -338,6 +383,8 @@ class CallSpec:
     sent: Optional[int] = None
     recvd: Optional[int] = None
     peers: Optional[frozenset[int]] = None
+    #: assert every event of this kind ran the named collective algorithm
+    algorithm: Optional[str] = None
 
     def check(self, op: str, events: Sequence[TraceEvent], *,
               check_count: bool = True) -> list[str]:
@@ -359,12 +406,20 @@ class CallSpec:
                     f"{op}: expected peers {sorted(self.peers)}, "
                     f"saw {sorted(have_peers)}"
                 )
+        if self.algorithm is not None:
+            have_algos = sorted({str(e.algorithm) for e in events})
+            if have_algos != [self.algorithm]:
+                problems.append(
+                    f"{op}: expected algorithm {self.algorithm!r}, "
+                    f"saw {have_algos}"
+                )
         return problems
 
 
 def calls(count: int, *, bytes: Optional[int] = None,
           sent: Optional[int] = None, recvd: Optional[int] = None,
-          peers: Optional[Iterable[int]] = None) -> CallSpec:
+          peers: Optional[Iterable[int]] = None,
+          algorithm: Optional[str] = None) -> CallSpec:
     """Build a :class:`CallSpec` for :func:`repro.mpi.profiling.expect_calls`.
 
     Example — the paper's allgatherv count-inference path, now pinned down to
@@ -379,4 +434,5 @@ def calls(count: int, *, bytes: Optional[int] = None,
     return CallSpec(
         count=count, bytes=bytes, sent=sent, recvd=recvd,
         peers=frozenset(peers) if peers is not None else None,
+        algorithm=algorithm,
     )

@@ -41,6 +41,9 @@ class SweepPoint:
     #: per-op ``{calls, sent, recvd, bytes, seconds}`` aggregates from the
     #: structured trace; only populated for simulated points of traced sweeps
     op_bytes: Optional[dict] = None
+    #: ``{op: (algorithm, ...)}`` — which registered collective algorithms
+    #: the engine actually ran; only populated for traced simulated points
+    algorithms: Optional[dict] = None
 
 
 def samplesort_sweep(binding: str, ps: Sequence[int], n_per_rank: int,
@@ -65,7 +68,8 @@ def samplesort_sweep(binding: str, ps: Sequence[int], n_per_rank: int,
 
             result = run(entry, p, cost_model=cm, trace=trace)
             points.append(SweepPoint(p, result.max_time, "simulated",
-                                     result.op_bytes() if trace else None))
+                                     result.op_bytes() if trace else None,
+                                     result.algorithms_used() if trace else None))
         else:
             points.append(
                 SweepPoint(p, samplesort_time(binding, p, n_per_rank, cm),
@@ -111,7 +115,8 @@ def bfs_sweep(family: str, strategy: str, ps: Sequence[int],
             result = run(entry, p, cost_model=cm, comm_class=Comm,
                          trace=trace)
             points.append(SweepPoint(p, result.max_time, "simulated",
-                                     result.op_bytes() if trace else None))
+                                     result.op_bytes() if trace else None,
+                                     result.algorithms_used() if trace else None))
         else:
             workload = bfs_workload(family, p, model_n_per_rank,
                                     model_avg_degree)

@@ -1,0 +1,251 @@
+"""Property-based tests: every registered collective algorithm vs references.
+
+Hypothesis drives random payloads and rank counts (including the ragged and
+16-rank cases) through each registered algorithm — forced via a
+:class:`~repro.mpi.engine.CollectiveEngine` override so the engine cannot
+quietly fall back to the default — and compares against straightforward
+sequential computations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import FREE, CollectiveEngine, SUM, algorithms, run_mpi, user_op
+
+# hypothesis suites are the heavyweight simulation tests: slow lane
+pytestmark = pytest.mark.slow
+
+_settings = settings(max_examples=10, deadline=None)
+
+#: rank counts the satellite contract names: singleton, powers of two,
+#: ragged odd sizes, and the simulator's 16-rank ceiling
+PS = (1, 2, 3, 4, 7, 8, 16)
+
+ps = st.sampled_from(PS)
+word = st.integers(min_value=-1000, max_value=1000)
+
+
+def _forced(op: str, name: str) -> CollectiveEngine:
+    return CollectiveEngine(FREE, overrides={op: name}, env={})
+
+
+def _run(main, p, op, name):
+    return run_mpi(main, p, cost_model=FREE, engine=_forced(op, name),
+                   deadline=30.0)
+
+
+def _param_algos(op: str):
+    return pytest.mark.parametrize("name", algorithms.names(op))
+
+
+@_param_algos("bcast")
+@_settings
+@given(p=ps, data=st.data())
+def test_bcast(name, p, data):
+    root = data.draw(st.integers(0, p - 1))
+    payload = data.draw(st.lists(word, min_size=0, max_size=40))
+
+    def main(comm):
+        value = np.asarray(payload, dtype=np.int64) if comm.rank == root else None
+        return comm.bcast(value, root).tolist()
+
+    res = _run(main, p, "bcast", name)
+    assert all(v == payload for v in res.values)
+
+
+@_param_algos("allgather")
+@_settings
+@given(p=ps, data=st.data())
+def test_allgather(name, p, data):
+    rows = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        return comm.allgather(rows[comm.rank])
+
+    res = _run(main, p, "allgather", name)
+    assert all(v == rows for v in res.values)
+
+
+@_param_algos("allgatherv")
+@_settings
+@given(p=ps, data=st.data())
+def test_allgatherv(name, p, data):
+    blocks = data.draw(st.lists(st.lists(word, min_size=0, max_size=6),
+                                min_size=p, max_size=p))
+
+    def main(comm):
+        counts = [len(b) for b in blocks]
+        return comm.allgatherv(np.asarray(blocks[comm.rank], dtype=np.int64),
+                               counts).tolist()
+
+    expected = [x for b in blocks for x in b]
+    res = _run(main, p, "allgatherv", name)
+    assert all(v == expected for v in res.values)
+
+
+@_param_algos("allreduce")
+@_settings
+@given(p=ps, data=st.data())
+def test_allreduce_sum(name, p, data):
+    # width ≥ p exercises the ring's chunked reduce-scatter; width < p its
+    # fallback path
+    width = data.draw(st.integers(1, 2 * p + 2))
+    rows = data.draw(st.lists(st.lists(word, min_size=width, max_size=width),
+                              min_size=p, max_size=p))
+
+    def main(comm):
+        return comm.allreduce(np.asarray(rows[comm.rank], dtype=np.int64),
+                              SUM).tolist()
+
+    expected = np.sum(np.asarray(rows, dtype=np.int64), axis=0).tolist()
+    res = _run(main, p, "allreduce", name)
+    assert all(v == expected for v in res.values)
+
+
+_AFFINE = user_op(lambda a, b: np.asarray(a) * 3 + np.asarray(b),
+                  commutative=False, name="affine")
+
+
+@_param_algos("allreduce")
+@_settings
+@given(p=ps, data=st.data())
+def test_allreduce_noncommutative_rank_order(name, p, data):
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        return int(comm.allreduce(np.int64(vals[comm.rank]), _AFFINE))
+
+    acc = np.int64(vals[0])
+    for v in vals[1:]:
+        acc = acc * 3 + np.int64(v)
+    res = _run(main, p, "allreduce", name)
+    assert all(v == int(acc) for v in res.values)
+
+
+@_param_algos("reduce")
+@_settings
+@given(p=ps, data=st.data())
+def test_reduce_noncommutative_rank_order(name, p, data):
+    root = data.draw(st.integers(0, p - 1))
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        out = comm.reduce(np.int64(vals[comm.rank]), _AFFINE, root)
+        return None if out is None else int(out)
+
+    acc = np.int64(vals[0])
+    for v in vals[1:]:
+        acc = acc * 3 + np.int64(v)
+    res = _run(main, p, "reduce", name)
+    for r, v in enumerate(res.values):
+        assert v == (int(acc) if r == root else None)
+
+
+@_param_algos("alltoallv")
+@_settings
+@given(p=ps, data=st.data())
+def test_alltoallv(name, p, data):
+    counts = data.draw(
+        st.lists(st.lists(st.integers(0, 4), min_size=p, max_size=p),
+                 min_size=p, max_size=p))
+
+    def main(comm):
+        r = comm.rank
+        sendcounts = counts[r]
+        recvcounts = [counts[s][r] for s in range(p)]
+        buf = np.arange(sum(sendcounts), dtype=np.int64) + 1000 * r
+        return comm.alltoallv(buf, sendcounts, recvcounts).tolist()
+
+    res = _run(main, p, "alltoallv", name)
+    for r in range(p):
+        expected = []
+        for s in range(p):
+            start = sum(counts[s][:r])
+            expected += [1000 * s + start + i for i in range(counts[s][r])]
+        assert res.values[r] == expected
+
+
+@_param_algos("alltoall")
+@_settings
+@given(p=ps, data=st.data())
+def test_alltoall(name, p, data):
+    table = data.draw(st.lists(st.lists(word, min_size=p, max_size=p),
+                               min_size=p, max_size=p))
+
+    def main(comm):
+        return comm.alltoall(table[comm.rank])
+
+    res = _run(main, p, "alltoall", name)
+    for r in range(p):
+        assert res.values[r] == [table[s][r] for s in range(p)]
+
+
+@_param_algos("gather")
+@_settings
+@given(p=ps, data=st.data())
+def test_gather(name, p, data):
+    root = data.draw(st.integers(0, p - 1))
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        return comm.gather(vals[comm.rank], root)
+
+    res = _run(main, p, "gather", name)
+    for r, v in enumerate(res.values):
+        assert v == (vals if r == root else None)
+
+
+@_param_algos("scatter")
+@_settings
+@given(p=ps, data=st.data())
+def test_scatter(name, p, data):
+    root = data.draw(st.integers(0, p - 1))
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        payloads = vals if comm.rank == root else None
+        return comm.scatter(payloads, root)
+
+    res = _run(main, p, "scatter", name)
+    assert res.values == vals
+
+
+@_param_algos("scan")
+@_settings
+@given(p=ps, data=st.data())
+def test_scan_prefix_sums(name, p, data):
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        return int(comm.scan(np.int64(vals[comm.rank]), SUM))
+
+    res = _run(main, p, "scan", name)
+    assert res.values == [sum(vals[:r + 1]) for r in range(p)]
+
+
+@_param_algos("exscan")
+@_settings
+@given(p=ps, data=st.data())
+def test_exscan_prefix_sums(name, p, data):
+    vals = data.draw(st.lists(word, min_size=p, max_size=p))
+
+    def main(comm):
+        out = comm.exscan(np.int64(vals[comm.rank]), SUM)
+        return None if out is None else int(out)
+
+    res = _run(main, p, "exscan", name)
+    # SUM carries identity 0, so rank 0 receives it (seed semantics)
+    assert res.values == [sum(vals[:r]) for r in range(p)]
+
+
+@_param_algos("barrier")
+@_settings
+@given(p=ps, rounds=st.integers(1, 3))
+def test_barrier_completes(name, p, rounds):
+    def main(comm):
+        for _ in range(rounds):
+            comm.barrier()
+        return True
+
+    assert all(_run(main, p, "barrier", name).values)
