@@ -51,15 +51,24 @@ def unwrap_moved(data: Any) -> tuple[Any, bool]:
 class Poison:
     """Write-protection for a NumPy array during a pending operation."""
 
-    __slots__ = ("array", "_was_writeable")
+    __slots__ = ("array", "_was_writeable", "released")
 
     def __init__(self, array: np.ndarray):
         self.array = array
         self._was_writeable = bool(array.flags.writeable)
         array.flags.writeable = False
+        #: False while the buffer is in flight; the resource auditor reports
+        #: any poison still unreleased at run teardown
+        self.released = False
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the protected buffer (leak-report attribution)."""
+        return int(self.array.nbytes)
 
     def release(self) -> None:
         """Restore the array's original writability."""
+        self.released = True
         if self._was_writeable:
             try:
                 self.array.flags.writeable = True

@@ -323,8 +323,16 @@ class Communicator:
         poison = poison_if_array(param.data)
         if poison is not None:
             poisons.append(poison)
+        self._audit_poisons(poisons, op_name)
         held = param.data if (param.moved or param.direction == "inout") else None
         return NonBlockingResult(raw_req, poisons=poisons, held=held)
+
+    def _audit_poisons(self, poisons: Sequence[Poison], op_name: str) -> None:
+        """Register in-flight buffer poisons with the MPIsan auditor."""
+        auditor = self.raw.machine.auditor
+        if auditor.enabled:
+            for poison in poisons:
+                auditor.track_poison(poison, self.raw, op=op_name)
 
     def recv(self, *params: Parameter) -> Any:
         """Blocking receive; the received data is the return value."""
@@ -648,6 +656,7 @@ class Communicator:
         poison = poison_if_array(data)
         if poison is not None:
             poisons.append(poison)
+        self._audit_poisons(poisons, "ibcast")
 
         def assemble(value: Any) -> Any:
             if serial:
@@ -669,6 +678,7 @@ class Communicator:
         poison = poison_if_array(plan.data(params, "send_buf"))
         if poison is not None:
             poisons.append(poison)
+        self._audit_poisons(poisons, "iallreduce")
         return NonBlockingResult(raw_req, assemble=wire.decode, poisons=poisons)
 
     def iallgather(self, *params: Parameter) -> NonBlockingResult:
@@ -682,6 +692,7 @@ class Communicator:
         poison = poison_if_array(plan.data(params, "send_buf"))
         if poison is not None:
             poisons.append(poison)
+        self._audit_poisons(poisons, "iallgather")
         return NonBlockingResult(
             raw_req, assemble=lambda blocks: _decode_blocks(wire, blocks),
             poisons=poisons,

@@ -42,10 +42,17 @@ class NonBlockingResult:
         """Complete the operation and return the owned data.
 
         For receives this is the received data; for sends with moved-in
-        buffers the buffer is returned to the caller (Fig. 6).
+        buffers the buffer is returned to the caller (Fig. 6).  If the raw
+        wait fails (process failure, revocation), the send-buffer poisons
+        are released before re-raising — the operation is over either way,
+        and the caller's buffers must not stay read-only forever.
         """
         if not self._done:
-            raw_value = self._raw.wait()
+            try:
+                raw_value = self._raw.wait()
+            except BaseException:
+                self._release_poisons()
+                raise
             self._finish(raw_value)
         return self._value
 
@@ -72,10 +79,13 @@ class NonBlockingResult:
             self._finish(raw_value)
         return done
 
-    def _finish(self, raw_value: Any) -> None:
+    def _release_poisons(self) -> None:
         for poison in self._poisons:
             poison.release()
         self._poisons.clear()
+
+    def _finish(self, raw_value: Any) -> None:
+        self._release_poisons()
         self._value = self._assemble(raw_value)
         if self._value is None and self._held is not None:
             self._value = self._held
@@ -106,6 +116,10 @@ class RequestPool:
 
     def __init__(self) -> None:
         self._results: list[NonBlockingResult] = []
+        #: values drained from waits that were interrupted by a failure
+        self.completed: list[Any] = []
+        #: ``(submission_index, result, error)`` for every failed request
+        self.failures: list[tuple[int, NonBlockingResult, BaseException]] = []
 
     def __len__(self) -> int:
         return len(self._results)
@@ -115,9 +129,41 @@ class RequestPool:
         return result
 
     def wait_all(self) -> list[Any]:
-        """Complete every pooled request; returns values in submission order."""
-        values = [r.wait() for r in self._results]
-        self._results.clear()
+        """Complete every pooled request; returns values in submission order.
+
+        Exception-safe: if a ``wait()`` raises (e.g. a
+        :class:`~repro.mpi.errors.RawProcessFailure`), the requests that
+        already completed are still drained — their values land in
+        :attr:`completed`, the error (and any further errors) is recorded in
+        :attr:`failures`, still-pending requests stay pooled for a later
+        ``wait_all``/inspection, and the first error re-raises.  Previously a
+        single failure lost every completed value and left the pool holding
+        stale completed results.
+        """
+        pending = list(self._results)
+        values: list[Any] = []
+        failures: list[tuple[int, NonBlockingResult, BaseException]] = []
+        remaining: list[NonBlockingResult] = []
+        first_error: Optional[BaseException] = None
+        for i, r in enumerate(pending):
+            try:
+                if first_error is None:
+                    values.append(r.wait())
+                # after a failure: drain completed results non-blockingly,
+                # keep genuinely pending ones pooled
+                elif r.is_completed:
+                    values.append(r.wait())
+                else:
+                    remaining.append(r)
+            except BaseException as exc:  # noqa: BLE001 - recorded and re-raised
+                failures.append((i, r, exc))
+                if first_error is None:
+                    first_error = exc
+        self._results[:] = remaining
+        if first_error is not None:
+            self.completed.extend(values)
+            self.failures.extend(failures)
+            raise first_error
         return values
 
     def test_all(self) -> bool:
@@ -141,7 +187,22 @@ class BoundedRequestPool(RequestPool):
         self.displaced: list[Any] = []
 
     def submit(self, result: NonBlockingResult) -> NonBlockingResult:
+        """Submit, first completing the oldest request when the pool is full.
+
+        Exception-safe: the oldest request leaves the pool only after its
+        ``wait()`` resolved.  If that wait fails, the failure is recorded
+        (see :attr:`RequestPool.failures`), the *new* result is still pooled
+        — so no request is ever silently dropped — and the error re-raises.
+        """
         if len(self._results) >= self.slots:
-            oldest = self._results.pop(0)
-            self.displaced.append(oldest.wait())
+            oldest = self._results[0]
+            try:
+                value = oldest.wait()
+            except BaseException as exc:  # noqa: BLE001 - recorded and re-raised
+                del self._results[0]
+                self.failures.append((0, oldest, exc))
+                super().submit(result)
+                raise
+            del self._results[0]
+            self.displaced.append(value)
         return super().submit(result)

@@ -17,7 +17,9 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         deadline: float = 120.0,
         comm_class: Type[Communicator] = Communicator,
         trace: bool | TraceRecorder = False,
-        engine: Optional[CollectiveEngine] = None) -> RunResult:
+        engine: Optional[CollectiveEngine] = None,
+        sanitize: Optional[bool] = None,
+        fuzz_seed: Optional[int] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
@@ -26,11 +28,15 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     ``trace=True`` records the structured communication trace
     (:class:`~repro.mpi.tracing.TraceRecorder`) as ``result.trace``;
     ``engine`` overrides the collective algorithm selection (see
-    :class:`~repro.mpi.engine.CollectiveEngine`).
+    :class:`~repro.mpi.engine.CollectiveEngine`); ``sanitize``/``fuzz_seed``
+    enable the MPIsan resource auditor and seeded schedule fuzzer (see
+    :mod:`repro.mpi.sanitizer`), defaulting to the ``REPRO_SANITIZE`` /
+    ``REPRO_FUZZ_SEED`` environment variables.
     """
 
     def entry(raw, *fn_args):
         return fn(comm_class(raw), *fn_args)
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
-                   deadline=deadline, trace=trace, engine=engine)
+                   deadline=deadline, trace=trace, engine=engine,
+                   sanitize=sanitize, fuzz_seed=fuzz_seed)

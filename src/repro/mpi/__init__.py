@@ -41,6 +41,14 @@ from repro.mpi.ops import (
 )
 from repro.mpi.p2p import Status
 from repro.mpi.profiling import call_delta, expect_calls, snapshot
+from repro.mpi.sanitizer import (
+    LeakRecord,
+    LeakReport,
+    ResourceAuditor,
+    ResourceLeakError,
+    ScheduleFuzzer,
+    minimize_failing_seeds,
+)
 from repro.mpi.requests import RawRequest, testall, waitall, waitany
 from repro.mpi.tracing import (
     NULL_TRACER,
@@ -65,4 +73,6 @@ __all__ = [
     "TraceRecorder", "TraceEvent", "CallSpec", "calls", "NULL_TRACER",
     "size_bucket",
     "algorithms", "Algorithm", "CollectiveEngine",
+    "ResourceAuditor", "ResourceLeakError", "LeakReport", "LeakRecord",
+    "ScheduleFuzzer", "minimize_failing_seeds",
 ]

@@ -166,6 +166,7 @@ class RawComm:
             arrival = clock.now + model.packed_transfer_time(nbytes)
         else:
             arrival = clock.now + model.transfer_time(nbytes)
+        auditor = self.machine.auditor
         env = Envelope(
             source=self._rank,
             tag=tag,
@@ -173,6 +174,7 @@ class RawComm:
             nbytes=nbytes,
             arrival_time=arrival,
             sync_event=threading.Event() if sync else None,
+            origin=auditor.origin() if auditor.enabled else (),
         )
         self.state.mailboxes[dest].deposit(env)
         return env
@@ -213,7 +215,8 @@ class RawComm:
             return
         with self._span("ssend", peers=(dest,), tag=tag, payload=payload):
             env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
-            SyncSendRequest(env, self.clock, self.machine.deadline).wait()
+            SyncSendRequest(env, self.clock, self.machine.deadline,
+                            fuzz=self.machine.fuzzer).wait()
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
         """Non-blocking standard send (buffered: completes immediately)."""
@@ -233,7 +236,13 @@ class RawComm:
             return CompletedRequest()
         with self._span("issend", peers=(dest,), tag=tag, payload=payload):
             env = self._deposit(payload, dest, validate_user_tag(tag), sync=True)
-        return SyncSendRequest(env, self.clock, self.machine.deadline)
+        req = SyncSendRequest(env, self.clock, self.machine.deadline,
+                              fuzz=self.machine.fuzzer)
+        auditor = self.machine.auditor
+        if auditor.enabled:
+            auditor.track_request(req, self, op="issend", peer=dest, tag=tag,
+                                  nbytes=env.nbytes)
+        return req
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, Status]:
         """Blocking receive; returns ``(payload, status)``."""
@@ -257,7 +266,12 @@ class RawComm:
         with self._span("irecv", peers=_peer(source), tag=tag):
             mb = self.state.mailboxes[self._rank]
             pr = mb.post(source, validate_user_tag(tag), self.clock.now)
-        return RecvRequest(mb, pr, self.clock)
+        req = RecvRequest(mb, pr, self.clock)
+        auditor = self.machine.auditor
+        if auditor.enabled:
+            pr.origin = auditor.origin()
+            auditor.track_request(req, self, op="irecv", peer=source, tag=tag)
+        return req
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait for a matching message without receiving it."""
@@ -300,9 +314,14 @@ class RawComm:
             self._ibarrier_epoch += 1
             self.clock.charge_overhead()
             ticket = self.state.barrier.arrive(epoch, self.clock.now)
-        return CounterBarrierRequest(
-            self.state.barrier, ticket, self.clock, self.machine.deadline
+        req = CounterBarrierRequest(
+            self.state.barrier, ticket, self.clock, self.machine.deadline,
+            fuzz=self.machine.fuzzer,
         )
+        auditor = self.machine.auditor
+        if auditor.enabled:
+            auditor.track_request(req, self, op="ibarrier")
+        return req
 
     # -- collectives ----------------------------------------------------------
 
@@ -655,20 +674,21 @@ class RawComm:
         key = ("agree", generation)
         alive = self.machine.shrink_rendezvous(self.state, key, self.world_rank)
         # Exchange flags among survivors through machine-level coordination.
+        from repro.mpi.waiting import Backoff
+
+        backoff = Backoff(self.machine.deadline, fuzz=self.machine.fuzzer)
         with self.machine._shrink_lock:
             store = self.machine._shrink_results.setdefault(
                 (self.state.comm_id, key, "flags"), {}
             )
             store[self.world_rank] = flag
             self.machine._shrink_lock.notify_all()
-            waited = 0.0
-            while set(store) < set(alive):
-                if not self.machine._shrink_lock.wait(timeout=0.05):
-                    waited += 0.05
-                    if waited >= self.machine.deadline:
-                        from repro.mpi.errors import RawDeadlockError
+            while not set(store) >= set(alive):
+                self.machine._shrink_lock.wait(timeout=backoff.next_timeout())
+                if backoff.expired and not set(store) >= set(alive):
+                    from repro.mpi.errors import RawDeadlockError
 
-                        raise RawDeadlockError("agree never completed")
+                    raise RawDeadlockError("agree never completed")
             return all(store[w] for w in alive)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

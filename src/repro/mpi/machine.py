@@ -17,7 +17,18 @@ from repro.mpi.engine import CollectiveEngine
 from repro.mpi.errors import ProcessKilled, RawDeadlockError, RawUsageError
 from repro.mpi.p2p import Mailbox
 from repro.mpi.requests import ArrivalBarrier
-from repro.mpi.tracing import NULL_TRACER, NullTraceRecorder, TraceRecorder
+from repro.mpi.sanitizer import (
+    NULL_AUDITOR,
+    LeakReport,
+    NullAuditor,
+    ResourceAuditor,
+    ResourceLeakError,
+    ScheduleFuzzer,
+    env_fuzz_seed_default,
+    env_sanitize_default,
+)
+from repro.mpi.tracing import NULL_TRACER, NullTraceRecorder, TraceEvent, TraceRecorder
+from repro.mpi.waiting import Backoff
 
 WORLD_ID: Hashable = "world"
 
@@ -38,6 +49,7 @@ class CommState:
             mb = Mailbox(deadline_seconds=machine.deadline)
             mb.failure_probe = machine.failed_snapshot
             mb.source_to_world = lambda r, m=self.members: m[r] if 0 <= r < len(m) else -1
+            mb.fuzz = machine.fuzzer
             self.mailboxes[local] = mb
         for mb in self.mailboxes.values():
             mb.revoke_probe = self._is_revoked
@@ -73,6 +85,9 @@ class RunResult:
     machine: Optional["Machine"] = None
     #: structured event trace (``None`` unless the run enabled tracing)
     trace: Optional[TraceRecorder] = None
+    #: MPIsan finalize-time leak report (``None`` unless the run was
+    #: sanitized; empty reports are falsy)
+    leaks: Optional[LeakReport] = None
 
     @property
     def max_time(self) -> float:
@@ -114,12 +129,21 @@ class Machine:
     def __init__(self, num_ranks: int, cost_model: Optional[CostModel] = None,
                  deadline: float = 120.0,
                  tracer: Optional[TraceRecorder] = None,
-                 engine: Optional["CollectiveEngine"] = None):
+                 engine: Optional["CollectiveEngine"] = None,
+                 auditor: Optional[ResourceAuditor] = None,
+                 fuzzer: Optional[ScheduleFuzzer] = None):
         if num_ranks < 1:
             raise RawUsageError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.deadline = deadline
+        #: MPIsan resource auditor; the no-op singleton unless sanitizing
+        self.auditor: ResourceAuditor | NullAuditor = (
+            auditor if auditor is not None else NULL_AUDITOR
+        )
+        #: seeded schedule fuzzer (``None`` outside fuzzed runs); must be set
+        #: before any CommState wires it into its mailboxes
+        self.fuzzer = fuzzer
         #: collective algorithm selector; the default engine reads the
         #: REPRO_COLL_* environment and uses the seed's static algorithm table
         self.engine: "CollectiveEngine" = (
@@ -186,21 +210,48 @@ class Machine:
         system.
         """
         key = (state.comm_id, generation)
+        backoff = Backoff(self.deadline, fuzz=self.fuzzer)
         with self._shrink_lock:
             self._shrink_arrivals.setdefault(key, set()).add(world_rank)
-            waited = 0.0
-            step = 0.05
             while key not in self._shrink_results:
                 alive = set(self.alive_members(state))
                 if self._shrink_arrivals[key] >= alive:
                     self._shrink_results[key] = tuple(sorted(alive))
                     self._shrink_lock.notify_all()
                     break
-                if not self._shrink_lock.wait(timeout=step):
-                    waited += step
-                    if waited >= self.deadline:
-                        raise RawDeadlockError("shrink agreement never completed")
+                self._shrink_lock.wait(timeout=backoff.next_timeout())
+                if (backoff.expired and key not in self._shrink_results
+                        and not self._shrink_arrivals[key]
+                        >= set(self.alive_members(state))):
+                    raise RawDeadlockError("shrink agreement never completed")
             return self._shrink_results[key]
+
+
+def _emit_leak_events(tracer: TraceRecorder, leaks: LeakReport) -> None:
+    """Surface leaks in the structured trace (``op="leak:<kind>"``).
+
+    Zero-duration events stamped at each owning rank's final virtual clock
+    position, so the Chrome-trace export shows every leak at the end of the
+    leaking rank's swim-lane next to the byte accounting.
+    """
+    for rec in leaks:
+        if not 0 <= rec.world_rank < tracer.num_ranks:
+            continue  # defensive: unattributable record
+        last = tracer.events_for(rec.world_rank)
+        t = last[-1].t_end if last else 0.0
+        tracer._append(TraceEvent(
+            op=f"leak:{rec.kind}",
+            world_rank=rec.world_rank,
+            rank=rec.rank,
+            comm=rec.comm,
+            peers=(rec.peer,) if rec.peer is not None and rec.peer >= 0 else (),
+            tag=rec.tag,
+            sent=0,
+            recvd=0,
+            t_start=t,
+            t_end=t,
+            algorithm=None,
+        ))
 
 
 def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
@@ -208,7 +259,9 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
             trace: bool | TraceRecorder = False,
-            engine: Optional[CollectiveEngine] = None) -> RunResult:
+            engine: Optional[CollectiveEngine] = None,
+            sanitize: Optional[bool] = None,
+            fuzz_seed: Optional[int] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
@@ -222,6 +275,19 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     ``engine`` selects collective algorithms per call; the default reads
     ``REPRO_COLL_*`` overrides from the environment and otherwise keeps the
     static seed algorithms (see :class:`~repro.mpi.engine.CollectiveEngine`).
+
+    ``sanitize=True`` (default: the ``REPRO_SANITIZE`` env var) runs MPIsan:
+    every request, posted receive, unexpected envelope, buffer poison, and
+    RMA lock is tracked, and a clean run that leaves any behind raises
+    :class:`~repro.mpi.sanitizer.ResourceLeakError` at teardown (the report
+    is also available as ``result.leaks`` and, on traced runs, as
+    ``leak:<kind>`` trace events).  Runs with failed/errored ranks only
+    report, never raise — their teardown is legitimately dirty.
+
+    ``fuzz_seed`` (default: the ``REPRO_FUZZ_SEED`` env var) enables the
+    seeded schedule fuzzer: deterministic per-rank delivery delays and
+    poll-wakeup jitter that perturb real-time interleaving without touching
+    virtual time (see :class:`~repro.mpi.sanitizer.ScheduleFuzzer`).
     """
     from repro.mpi.context import RawComm
 
@@ -233,12 +299,22 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     else:
         tracer = None
 
+    if sanitize is None:
+        sanitize = env_sanitize_default()
+    if fuzz_seed is None:
+        fuzz_seed = env_fuzz_seed_default()
+    auditor = ResourceAuditor() if sanitize else None
+    fuzzer = ScheduleFuzzer(fuzz_seed) if fuzz_seed is not None else None
+
     machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline,
-                      tracer=tracer, engine=engine)
+                      tracer=tracer, engine=engine, auditor=auditor,
+                      fuzzer=fuzzer)
     values: list[Any] = [None] * num_ranks
     errors: list[Optional[BaseException]] = [None] * num_ranks
 
     def worker(world_rank: int) -> None:
+        if fuzzer is not None:
+            fuzzer.pause("spawn")
         comm = RawComm(machine, machine.world, world_rank)
         try:
             values[world_rank] = fn(comm, *args)
@@ -268,6 +344,15 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     for rank, exc in sorted(raised, key=_priority):
         raise RuntimeError(f"rank {rank} raised {type(exc).__name__}: {exc}") from exc
 
+    leaks: Optional[LeakReport] = None
+    if machine.auditor.enabled:
+        leaks = machine.auditor.collect(machine)
+        if leaks and tracer is not None:
+            _emit_leak_events(tracer, leaks)
+        # failed ranks tear down mid-operation: report, but don't fail the run
+        if leaks and not machine.failed_snapshot():
+            raise ResourceLeakError(leaks)
+
     return RunResult(
         values=values,
         times=[c.now for c in machine.clocks],
@@ -277,4 +362,5 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
         failed=machine.failed_snapshot(),
         machine=machine,
         trace=tracer,
+        leaks=leaks,
     )

@@ -20,7 +20,8 @@ import numpy as np
 from repro.mpi.collectives import _combine
 from repro.mpi.errors import RawDeadlockError, RawUsageError
 from repro.mpi.ops import Op
-from repro.mpi.requests import RawRequest
+from repro.mpi.requests import RawRequest, RecvRequest
+from repro.mpi.waiting import Backoff
 
 CODE_IBCAST = 17
 CODE_IALLREDUCE = 18
@@ -50,17 +51,33 @@ class StateMachineRequest(RawRequest):
     def wait(self) -> Any:
         import time
 
-        waited = 0.0
+        # progress-on-test: _advance() must keep running, so this is a poll
+        # loop — with a small backoff cap (the state machine only moves when
+        # polled) and the deadline accounted on real elapsed time
+        backoff = Backoff(self._comm.machine.deadline, initial=0.0005,
+                          cap=0.002, fuzz=self._comm.machine.fuzzer)
         while not self._done:
             self._done = self._advance()
             if not self._done:
-                time.sleep(0.0005)
-                waited += 0.0005
-                if waited > self._comm.machine.deadline:
+                if backoff.expired:
                     raise RawDeadlockError(
                         f"{type(self).__name__} never completed"
                     )
+                time.sleep(backoff.next_timeout())
         return self._value
+
+    def audit_state(self) -> str:
+        return "completed" if self._done else "pending"
+
+    def audit_pending_recvs(self) -> tuple:
+        """Posted receives of the in-flight state machine (auditor dedup)."""
+        return tuple(
+            req._pr for req in self._internal_recvs()
+            if isinstance(req, RecvRequest)
+        )
+
+    def _internal_recvs(self) -> tuple:
+        return ()
 
 
 class IBcastRequest(StateMachineRequest):
@@ -104,6 +121,9 @@ class IBcastRequest(StateMachineRequest):
                                  self._tag)
             mask >>= 1
         return True
+
+    def _internal_recvs(self) -> tuple:
+        return (self._recv_req,) if self._recv_req is not None else ()
 
 
 def _top_mask(p: int) -> int:
@@ -191,6 +211,9 @@ class IAllreduceRequest(StateMachineRequest):
                 self._start_round()
         return True
 
+    def _internal_recvs(self) -> tuple:
+        return (self._pending[1],) if self._pending is not None else ()
+
 
 class IAllgatherRequest(StateMachineRequest):
     """Bruck allgather, one round per state transition."""
@@ -234,6 +257,17 @@ class IAllgatherRequest(StateMachineRequest):
             self._value = out
             return True
 
+    def _internal_recvs(self) -> tuple:
+        return (self._pending,) if self._pending is not None else ()
+
+
+def _track(comm, req, op: str, tag: int):
+    """Register a collective request with the machine's resource auditor."""
+    auditor = comm.machine.auditor
+    if auditor.enabled:
+        auditor.track_request(req, comm, op=op, tag=tag)
+    return req
+
 
 def ibcast(comm, payload: Any, root: int = 0) -> IBcastRequest:
     """Start a non-blocking broadcast (``MPI_Ibcast``)."""
@@ -242,7 +276,8 @@ def ibcast(comm, payload: Any, root: int = 0) -> IBcastRequest:
     tag = comm._next_coll_tag(CODE_IBCAST)
     with comm._span("ibcast", peers=(root,), tag=tag,
                     payload=payload if comm.rank == root else None):
-        return IBcastRequest(comm, payload, root, tag)
+        return _track(comm, IBcastRequest(comm, payload, root, tag),
+                      "ibcast", tag)
 
 
 def iallreduce(comm, value: Any, op: Op) -> IAllreduceRequest:
@@ -251,7 +286,8 @@ def iallreduce(comm, value: Any, op: Op) -> IAllreduceRequest:
     comm._check_usable()
     tag = comm._next_coll_tag(CODE_IALLREDUCE)
     with comm._span("iallreduce", peers="all", tag=tag, payload=value):
-        return IAllreduceRequest(comm, value, op, tag)
+        return _track(comm, IAllreduceRequest(comm, value, op, tag),
+                      "iallreduce", tag)
 
 
 def iallgather(comm, payload: Any) -> IAllgatherRequest:
@@ -260,4 +296,5 @@ def iallgather(comm, payload: Any) -> IAllgatherRequest:
     comm._check_usable()
     tag = comm._next_coll_tag(CODE_IALLGATHER)
     with comm._span("iallgather", peers="all", tag=tag, payload=payload):
-        return IAllgatherRequest(comm, payload, tag)
+        return _track(comm, IAllgatherRequest(comm, payload, tag),
+                      "iallgather", tag)

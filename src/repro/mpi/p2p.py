@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
-from repro.mpi.errors import RawDeadlockError, RawProcessFailure
+from repro.mpi.errors import RawDeadlockError, RawProcessFailure, RawUsageError
+from repro.mpi.waiting import Backoff
 
 _envelope_ids = itertools.count()
 
@@ -53,6 +54,8 @@ class Envelope:
     #: receiver-side clock at match time (read by synchronous senders)
     match_clock: float = 0.0
     seq: int = field(default_factory=lambda: next(_envelope_ids))
+    #: sender-side creation backtrace (sanitized runs only; see MPIsan)
+    origin: tuple = ()
 
     def matches(self, source: int, tag: int) -> bool:
         return (source == ANY_SOURCE or source == self.source) and (
@@ -63,7 +66,8 @@ class Envelope:
 class PendingRecv:
     """A posted receive waiting for a matching envelope."""
 
-    __slots__ = ("source", "tag", "post_clock", "envelope", "event", "cancelled")
+    __slots__ = ("source", "tag", "post_clock", "envelope", "event",
+                 "cancelled", "origin")
 
     def __init__(self, source: int, tag: int, post_clock: float):
         self.source = source
@@ -72,6 +76,8 @@ class PendingRecv:
         self.envelope: Optional[Envelope] = None
         self.event = threading.Event()
         self.cancelled = False
+        #: creation backtrace (sanitized runs only; see MPIsan)
+        self.origin: tuple = ()
 
     def complete(self, env: Envelope) -> None:
         self.envelope = env
@@ -96,11 +102,16 @@ class Mailbox:
         #: callable reporting whether the owning communicator was revoked;
         #: blocked operations on a revoked communicator abort (ULFM semantics)
         self.revoke_probe: Callable[[], bool] = lambda: False
+        #: schedule fuzzer of the owning machine (``None`` outside fuzzed runs);
+        #: perturbs delivery timing and poll wakeups, never virtual time
+        self.fuzz = None
 
     # -- sending ----------------------------------------------------------
 
     def deposit(self, env: Envelope) -> None:
         """Deliver an envelope, matching a posted receive if one is waiting."""
+        if self.fuzz is not None:
+            self.fuzz.pause("deposit")
         with self._cond:
             for i, pr in enumerate(self._posted):
                 if pr_matches(pr, env):
@@ -130,28 +141,34 @@ class Mailbox:
 
         Raises :class:`RawProcessFailure` if the awaited source dies while the
         receive is pending, and :class:`RawDeadlockError` if the machine's
-        deadlock deadline elapses.
+        deadlock deadline elapses.  On every error path the receive is first
+        cancelled; if an envelope matched it in the meantime the receive has
+        completed (``MPI_Cancel`` cannot undo a match) and the envelope is
+        delivered instead of raising.
         """
-        waited = 0.0
-        step = 0.05
-        while not pr.event.wait(timeout=step):
-            waited += step
+        backoff = Backoff(self._deadline, fuzz=self.fuzz)
+        while not pr.event.wait(timeout=backoff.next_timeout()):
             if self.revoke_probe():
+                if not self.cancel(pr):
+                    break  # matched concurrently: deliver, don't drop
                 from repro.mpi.errors import RawCommRevoked
 
-                self.cancel(pr)
                 raise RawCommRevoked("communicator revoked while receive pending")
             failed = self.failure_probe()
             if failed and self._source_failed(pr, failed):
-                self.cancel(pr)
+                if not self.cancel(pr):
+                    break
                 raise RawProcessFailure(failed)
-            if waited >= self._deadline:
-                self.cancel(pr)
+            if backoff.expired:
+                if not self.cancel(pr):
+                    break
                 raise RawDeadlockError(
                     f"recv(source={pr.source}, tag={pr.tag}) exceeded the "
                     f"{self._deadline:.0f}s deadlock deadline"
                 )
-        assert pr.envelope is not None
+        if pr.envelope is None:
+            # only reachable by waiting on a receive cancelled elsewhere
+            raise RawUsageError("wait() on a cancelled receive")
         return pr.envelope
 
     def _source_failed(self, pr: PendingRecv, failed: frozenset[int]) -> bool:
@@ -159,14 +176,28 @@ class Mailbox:
             return True  # any failure may leave a wildcard recv stuck: report it
         return self.source_to_world(pr.source) in failed
 
-    def cancel(self, pr: PendingRecv) -> None:
-        """Remove a posted receive that will never be satisfied."""
+    def cancel(self, pr: PendingRecv) -> bool:
+        """Try to cancel a posted receive (``MPI_Cancel`` semantics).
+
+        Returns ``True`` when the receive was still unmatched: it is removed
+        from the posted queue and marked cancelled.  Returns ``False`` when an
+        envelope already matched it — a matched receive must complete
+        normally, so the caller has to consume ``pr.envelope`` (via ``wait``/
+        ``test``) instead of treating the operation as cancelled.  The
+        previous behaviour (cancel unconditionally) silently dropped the
+        matched message and, for synchronous sends, left the sender convinced
+        its message had been received.
+        """
         with self._cond:
+            if pr.envelope is not None:
+                return False
             pr.cancelled = True
             try:
                 self._posted.remove(pr)
             except ValueError:
                 pass
+            pr.event.set()  # wake any waiter; it observes the cancellation
+            return True
 
     def test(self, pr: PendingRecv) -> Optional[Envelope]:
         """Non-blocking completion check for a posted receive."""
@@ -185,36 +216,43 @@ class Mailbox:
         return None
 
     def probe(self, source: int, tag: int) -> Envelope:
-        """Block until a matching message is available; do not consume it."""
-        waited = 0.0
-        step = 0.05
+        """Block until a matching message is available; do not consume it.
+
+        Failure, revocation, and deadline checks run on every wakeup: a
+        notified-but-unmatched wakeup (a message for a different receive)
+        must not stall the deadline clock, which accounts real elapsed time.
+        """
+        backoff = Backoff(self._deadline, fuzz=self.fuzz)
         while True:
             with self._cond:
                 for env in self._unexpected:
                     if env.matches(source, tag):
                         return env
-                notified = self._cond.wait(timeout=step)
-            if not notified:
-                waited += step
-                if self.revoke_probe():
-                    from repro.mpi.errors import RawCommRevoked
+                self._cond.wait(timeout=backoff.next_timeout())
+            if self.revoke_probe():
+                from repro.mpi.errors import RawCommRevoked
 
-                    raise RawCommRevoked("communicator revoked while probing")
-                failed = self.failure_probe()
-                if failed and (
-                    source == ANY_SOURCE or self.source_to_world(source) in failed
-                ):
-                    raise RawProcessFailure(failed)
-                if waited >= self._deadline:
-                    raise RawDeadlockError(
-                        f"probe(source={source}, tag={tag}) exceeded the "
-                        f"{self._deadline:.0f}s deadlock deadline"
-                    )
+                raise RawCommRevoked("communicator revoked while probing")
+            failed = self.failure_probe()
+            if failed and (
+                source == ANY_SOURCE or self.source_to_world(source) in failed
+            ):
+                raise RawProcessFailure(failed)
+            if backoff.expired:
+                raise RawDeadlockError(
+                    f"probe(source={source}, tag={tag}) exceeded the "
+                    f"{self._deadline:.0f}s deadlock deadline"
+                )
 
     def pending_count(self) -> int:
         """Number of queued unexpected messages (diagnostics only)."""
         with self._cond:
             return len(self._unexpected)
+
+    def audit_snapshot(self) -> tuple[tuple[PendingRecv, ...], tuple[Envelope, ...]]:
+        """Consistent snapshot of both queues (MPIsan's finalize-time sweep)."""
+        with self._cond:
+            return tuple(self._posted), tuple(self._unexpected)
 
 
 def pr_matches(pr: PendingRecv, env: Envelope) -> bool:

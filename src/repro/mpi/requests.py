@@ -11,8 +11,9 @@ import threading
 from typing import Any, Optional, Sequence
 
 from repro.mpi.costmodel import Clock
-from repro.mpi.errors import RawDeadlockError
+from repro.mpi.errors import RawDeadlockError, RawUsageError
 from repro.mpi.p2p import Envelope, Mailbox, PendingRecv, Status
+from repro.mpi.waiting import Backoff
 
 
 class RawRequest:
@@ -29,6 +30,19 @@ class RawRequest:
     def completed(self) -> bool:
         done, _ = self.test()
         return done
+
+    # -- MPIsan hooks (side-effect free; see repro.mpi.sanitizer) ----------
+
+    def audit_state(self) -> str:
+        """Lifecycle state for the resource auditor, observed without driving
+        progress: ``"completed"``, ``"cancelled"``, ``"pending"``, or
+        ``"unmatched"`` (synchronous sends no receive ever matched)."""
+        return "completed"
+
+    def audit_pending_recvs(self) -> tuple[PendingRecv, ...]:
+        """Posted receives owned by this request (so the auditor attributes
+        them to the request instead of reporting them twice)."""
+        return ()
 
 
 class CompletedRequest(RawRequest):
@@ -49,19 +63,19 @@ class CompletedRequest(RawRequest):
 class SyncSendRequest(RawRequest):
     """Request for ``issend``: completes once the receiver matched the message."""
 
-    def __init__(self, env: Envelope, clock: Clock, deadline: float = 120.0):
+    def __init__(self, env: Envelope, clock: Clock, deadline: float = 120.0,
+                 fuzz=None):
         assert env.sync_event is not None
         self._env = env
         self._clock = clock
         self._deadline = deadline
+        self._fuzz = fuzz
         self._done = False
 
     def wait(self) -> None:
-        waited = 0.0
-        step = 0.05
-        while not self._env.sync_event.wait(timeout=step):
-            waited += step
-            if waited >= self._deadline:
+        backoff = Backoff(self._deadline, fuzz=self._fuzz)
+        while not self._env.sync_event.wait(timeout=backoff.next_timeout()):
+            if backoff.expired:
                 raise RawDeadlockError("issend never matched a receive")
         self._finish()
 
@@ -76,6 +90,13 @@ class SyncSendRequest(RawRequest):
             self._clock.wait_until(self._env.match_clock)
             self._done = True
 
+    def audit_state(self) -> str:
+        if self._done:
+            return "completed"
+        if self._env.sync_event.is_set():
+            return "pending"  # matched, but the sender never waited/tested
+        return "unmatched"
+
 
 class RecvRequest(RawRequest):
     """Request for ``irecv``."""
@@ -85,9 +106,12 @@ class RecvRequest(RawRequest):
         self._pr = pr
         self._clock = clock
         self._result: Optional[tuple[Any, Status]] = None
+        self._cancelled = False
 
     def wait(self) -> tuple[Any, Status]:
         if self._result is None:
+            if self._cancelled:
+                raise RawUsageError("wait() on a cancelled receive")
             env = self._mailbox.wait(self._pr)
             self._result = self._consume(env)
         return self._result
@@ -95,35 +119,66 @@ class RecvRequest(RawRequest):
     def test(self) -> tuple[bool, Any]:
         if self._result is not None:
             return True, self._result
+        if self._cancelled:
+            # a successfully cancelled request is complete with no value
+            return True, None
         env = self._mailbox.test(self._pr)
         if env is None:
             return False, None
         self._result = self._consume(env)
         return True, self._result
 
-    def cancel(self) -> None:
-        """Cancel the posted receive (analog of ``MPI_Cancel``)."""
-        self._mailbox.cancel(self._pr)
+    def cancel(self) -> bool:
+        """Cancel the posted receive (analog of ``MPI_Cancel``).
+
+        Returns ``True`` when the cancellation took effect.  Returns
+        ``False`` when the receive already matched an envelope — per MPI
+        semantics a matched receive must complete, so the caller still has
+        to ``wait()``/``test()`` to consume the message (which would
+        otherwise be silently dropped).
+        """
+        if self._result is not None or self._cancelled:
+            return self._cancelled
+        if not self._mailbox.cancel(self._pr):
+            return False
+        self._cancelled = True
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def _consume(self, env: Envelope) -> tuple[Any, Status]:
         self._clock.wait_until(env.arrival_time)
         self._clock.charge_overhead()
         return env.payload, Status(source=env.source, tag=env.tag, nbytes=env.nbytes)
 
+    def audit_state(self) -> str:
+        if self._result is not None:
+            return "completed"
+        if self._cancelled:
+            return "cancelled"
+        return "pending"
+
+    def audit_pending_recvs(self) -> tuple[PendingRecv, ...]:
+        return (self._pr,)
+
 
 class CounterBarrierRequest(RawRequest):
     """Request for ``ibarrier``, backed by a machine-level arrival counter."""
 
     def __init__(self, barrier: "ArrivalBarrier", ticket: int, clock: Clock,
-                 deadline: float = 120.0):
+                 deadline: float = 120.0, fuzz=None):
         self._barrier = barrier
         self._ticket = ticket
         self._clock = clock
         self._deadline = deadline
+        self._fuzz = fuzz
         self._done = False
 
     def wait(self) -> None:
-        self._barrier.wait_complete(self._ticket, self._deadline)
+        self._barrier.wait_complete(self._ticket, self._deadline,
+                                    fuzz=self._fuzz)
         self._finish()
 
     def test(self) -> tuple[bool, Any]:
@@ -139,6 +194,13 @@ class CounterBarrierRequest(RawRequest):
             self._clock.wait_until(self._barrier.completion_time(self._ticket))
             self._clock.charge_overhead()
             self._done = True
+
+    def audit_state(self) -> str:
+        # a fully-arrived barrier holds no per-rank resources even if this
+        # rank never waited; only a still-incomplete epoch is a leak
+        if self._done or self._barrier.is_complete(self._ticket):
+            return "completed"
+        return "pending"
 
 
 class ArrivalBarrier:
@@ -179,15 +241,13 @@ class ArrivalBarrier:
         with self._cond:
             return self._complete_time[epoch]
 
-    def wait_complete(self, epoch: int, deadline: float) -> None:
-        waited = 0.0
-        step = 0.05
+    def wait_complete(self, epoch: int, deadline: float, fuzz=None) -> None:
+        backoff = Backoff(deadline, fuzz=fuzz)
         with self._cond:
             while epoch not in self._complete_time:
-                if not self._cond.wait(timeout=step):
-                    waited += step
-                    if waited >= deadline:
-                        raise RawDeadlockError("ibarrier never completed")
+                self._cond.wait(timeout=backoff.next_timeout())
+                if epoch not in self._complete_time and backoff.expired:
+                    raise RawDeadlockError("ibarrier never completed")
 
 
 def waitall(requests: Sequence[RawRequest]) -> list[Any]:
@@ -207,17 +267,22 @@ def testall(requests: Sequence[RawRequest]) -> tuple[bool, Optional[list[Any]]]:
 
 
 def waitany(requests: Sequence[RawRequest], poll_interval: float = 0.001,
-            deadline: float = 120.0) -> tuple[int, Any]:
-    """Complete one request, returning ``(index, value)`` (``MPI_Waitany``)."""
+            deadline: float = 120.0, fuzz=None) -> tuple[int, Any]:
+    """Complete one request, returning ``(index, value)`` (``MPI_Waitany``).
+
+    ``test()`` drives progress (progress-on-test semantics), so this stays a
+    poll loop — but with capped exponential backoff and the deadline
+    accounted on real elapsed time.  The backoff cap is kept small: the
+    polled requests may be state machines that only advance when tested.
+    """
     import time
 
-    waited = 0.0
+    backoff = Backoff(deadline, initial=poll_interval, cap=0.005, fuzz=fuzz)
     while True:
         for i, r in enumerate(requests):
             done, value = r.test()
             if done:
                 return i, value
-        time.sleep(poll_interval)
-        waited += poll_interval
-        if waited >= deadline:
+        if backoff.expired:
             raise RawDeadlockError("waitany exceeded the deadlock deadline")
+        time.sleep(backoff.next_timeout())

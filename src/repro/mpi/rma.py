@@ -24,8 +24,9 @@ from typing import Any, Hashable, Optional
 
 import numpy as np
 
-from repro.mpi.errors import RawUsageError
+from repro.mpi.errors import RawDeadlockError, RawUsageError
 from repro.mpi.ops import Op, SUM
+from repro.mpi.waiting import Backoff
 
 
 class _WindowState:
@@ -87,16 +88,30 @@ class RawWindow:
         self.comm._count("win_lock")
         me = self.comm.rank
         st = self._state
-        with self.comm._span("win_lock", peers=(target,)), st.lock_cond:
+        machine = self.comm.machine
+        backoff = Backoff(machine.deadline, fuzz=machine.fuzzer)
+
+        def blocked() -> bool:
             if exclusive:
-                while (st.exclusive_holder[target] is not None
-                       or st.shared_count[target] > 0):
-                    st.lock_cond.wait(timeout=0.05)
+                return (st.exclusive_holder[target] is not None
+                        or st.shared_count[target] > 0)
+            return st.exclusive_holder[target] is not None
+
+        with self.comm._span("win_lock", peers=(target,)), st.lock_cond:
+            while blocked():
+                st.lock_cond.wait(timeout=backoff.next_timeout())
+                if blocked() and backoff.expired:
+                    raise RawDeadlockError(
+                        f"win_lock(target={target}) exceeded the "
+                        f"{machine.deadline:.0f}s deadlock deadline"
+                    )
+            if exclusive:
                 st.exclusive_holder[target] = me
             else:
-                while st.exclusive_holder[target] is not None:
-                    st.lock_cond.wait(timeout=0.05)
                 st.shared_count[target] += 1
+        auditor = machine.auditor
+        if auditor.enabled:
+            auditor.track_rma_lock(st, target, self.comm)
 
     def unlock(self, target: int) -> None:
         """``MPI_Win_unlock``: end the passive-target epoch."""
@@ -111,6 +126,9 @@ class RawWindow:
             else:
                 raise RawUsageError(f"unlock({target}) without a matching lock")
             st.lock_cond.notify_all()
+        auditor = self.comm.machine.auditor
+        if auditor.enabled:
+            auditor.release_rma_lock(st, target, self.comm)
 
     # -- one-sided data movement ------------------------------------------------
 

@@ -348,9 +348,15 @@ class TraceRecorder:
             if e.algorithm is not None:
                 args["algorithm"] = e.algorithm
                 args["size_bucket"] = size_bucket(e.nbytes)
+            if e.op.startswith("timer:"):
+                cat = "timer"
+            elif e.op.startswith("leak:"):
+                cat = "sanitizer"
+            else:
+                cat = "mpi"
             trace_events.append({
                 "name": e.op,
-                "cat": "timer" if e.op.startswith("timer:") else "mpi",
+                "cat": cat,
                 "ph": "X",
                 "pid": 0,
                 "tid": e.world_rank,

@@ -1,0 +1,79 @@
+"""Real-time wait discipline for blocking operations.
+
+Every blocking primitive of the runtime (mailbox waits, probes, synchronous
+sends, non-blocking-collective progress loops, RMA locks, shrink rendezvous)
+needs the same three ingredients:
+
+- an **event- or condition-based wait** so the thread sleeps until a peer
+  actually makes progress instead of spinning at a fixed interval;
+- **capped exponential backoff** on the wait timeout, so failure checks
+  (process death, revocation, the deadlock deadline) start out responsive and
+  settle at a cheap polling rate for long waits;
+- **deadline accounting on real elapsed time** (``time.monotonic``), not on
+  accumulated step counts — a wait that returns early (a notify for a
+  different message, a spurious wakeup) must not stall the deadline clock.
+
+:class:`Backoff` bundles these.  The optional ``fuzz`` hook lets the schedule
+fuzzer (:mod:`repro.mpi.sanitizer`) perturb poll-wakeup ordering
+deterministically without the wait loops knowing about it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol
+
+
+class WakeupFuzz(Protocol):  # pragma: no cover - typing only
+    def jitter(self, timeout: float) -> float: ...
+
+
+#: first wait timeout handed out by a fresh :class:`Backoff` (seconds)
+INITIAL_STEP = 0.001
+#: ceiling for the exponentially-growing wait timeout (seconds)
+MAX_STEP = 0.05
+#: smallest timeout ever handed out (keeps fuzzed timeouts positive)
+MIN_STEP = 1e-4
+
+
+class Backoff:
+    """Deadline-tracked wait pacing with capped exponential backoff.
+
+    ``deadline`` is the wall-clock budget in seconds; :attr:`expired` flips
+    once that much *real* time has elapsed since construction, no matter how
+    many (possibly early-returning) waits happened in between.
+    """
+
+    __slots__ = ("_deadline", "_start", "_step", "_cap", "_fuzz")
+
+    def __init__(self, deadline: float, *, initial: float = INITIAL_STEP,
+                 cap: float = MAX_STEP, fuzz: Optional[WakeupFuzz] = None):
+        self._deadline = deadline
+        self._start = time.monotonic()
+        self._step = max(initial, MIN_STEP)
+        self._cap = cap
+        self._fuzz = fuzz
+
+    def next_timeout(self) -> float:
+        """The timeout for the next wait; doubles up to the cap each call.
+
+        Never exceeds the time remaining until the deadline (plus the
+        minimum step), so an expiring wait wakes up close to the deadline
+        instead of oversleeping a whole backoff period.
+        """
+        step = self._step
+        self._step = min(self._step * 2.0, self._cap)
+        if self._fuzz is not None:
+            step = self._fuzz.jitter(step)
+        remaining = self._deadline - self.elapsed
+        return max(min(step, remaining), MIN_STEP)
+
+    @property
+    def elapsed(self) -> float:
+        """Real seconds since this wait began."""
+        return time.monotonic() - self._start
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline's worth of real time has elapsed."""
+        return self.elapsed >= self._deadline

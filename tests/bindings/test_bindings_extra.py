@@ -54,7 +54,9 @@ class TestBoostExtra:
             except boost_mpi.BoostMpiException:
                 return "needs sizes"
 
-        assert runp(main, 2).values[0] == "needs sizes"
+        # the root aborts the collective after rank 1 already sent its
+        # contribution, so teardown is legitimately dirty: keep MPIsan off
+        assert runp(main, 2, sanitize=False).values[0] == "needs sizes"
 
     def test_unmappable_op_rejected(self):
         def main(raw):

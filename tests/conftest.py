@@ -1,4 +1,4 @@
-"""Shared test helpers and the per-test watchdog.
+"""Shared test helpers, the per-test watchdog, and the fuzz-seed plugin.
 
 Every test runs under a watchdog (default 120 s, override with
 ``@pytest.mark.timeout(seconds)`` or the ``REPRO_TEST_TIMEOUT`` env var):
@@ -6,6 +6,12 @@ the test body executes in a worker thread, and if it does not finish in
 time the test *fails* with a diagnostic instead of hanging CI — the failure
 mode of a deadlocked simulated rank that slips past ``run_mpi``'s own
 deadline.  ``timeout(0)`` disables the watchdog for one test.
+
+Tests marked ``@pytest.mark.fuzz(seeds=N)`` that take a ``fuzz_seed``
+argument are rerun across N schedule-fuzzer seeds (default 16).  Setting
+``REPRO_FUZZ_SEED`` replays exactly one seed — the deterministic-repro
+workflow: a CI matrix scans the seed range, a failure is reproduced locally
+from its seed alone (see DESIGN.md, MPIsan).
 """
 
 from __future__ import annotations
@@ -57,20 +63,36 @@ def pytest_pyfunc_call(pyfuncitem):
         raise outcome["error"]
     return True
 
+def pytest_generate_tests(metafunc):
+    """Parametrize ``fuzz_seed`` arguments across the fuzz-marker seed range."""
+    if "fuzz_seed" not in metafunc.fixturenames:
+        return
+    marker = metafunc.definition.get_closest_marker("fuzz")
+    count = int(marker.kwargs.get("seeds", 16)) if marker is not None else 4
+    pinned = os.environ.get("REPRO_FUZZ_SEED", "").strip()
+    seeds = [int(pinned)] if pinned else list(range(count))
+    metafunc.parametrize("fuzz_seed", seeds)
+
+
 #: rank counts exercised by most correctness tests (includes non-powers of 2)
 SMALL_P = (1, 2, 3, 4, 7, 8)
 
 
-def runp(fn, p, *, args=(), cost_model=None, deadline=60.0) -> RunResult:
-    """Run ``fn(raw_comm, *args)`` on ``p`` ranks (raw runtime)."""
-    return run_mpi(fn, p, args=args, cost_model=cost_model, deadline=deadline)
+def runp(fn, p, *, args=(), cost_model=None, deadline=60.0, **kwargs) -> RunResult:
+    """Run ``fn(raw_comm, *args)`` on ``p`` ranks (raw runtime).
+
+    Extra keyword arguments (``trace``, ``engine``, ``sanitize``,
+    ``fuzz_seed``) pass through to :func:`repro.mpi.run_mpi`.
+    """
+    return run_mpi(fn, p, args=args, cost_model=cost_model, deadline=deadline,
+                   **kwargs)
 
 
 def runk(fn, p, *, args=(), cost_model=None, comm_class=Communicator,
-         deadline=60.0) -> RunResult:
+         deadline=60.0, **kwargs) -> RunResult:
     """Run ``fn(kamping_comm, *args)`` on ``p`` ranks."""
     return run_kamping(fn, p, args=args, cost_model=cost_model,
-                       comm_class=comm_class, deadline=deadline)
+                       comm_class=comm_class, deadline=deadline, **kwargs)
 
 
 @pytest.fixture

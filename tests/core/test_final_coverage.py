@@ -126,6 +126,7 @@ class TestMiscGaps:
                 comm.send(send_buf([1]), destination(0))
                 return None
             status = comm.probe()
+            comm.recv()  # drain the probed message (probe does not consume)
             return status.source
 
         assert runk(main, 2).values[0] == 1

@@ -171,3 +171,97 @@ def test_bounded_pool_displaces_oldest():
 def test_bounded_pool_needs_positive_slots():
     with pytest.raises(ValueError):
         BoundedRequestPool(0)
+
+
+# ---------------------------------------------------------------------------
+# Exception safety: pool error paths (MPIsan PR)
+# ---------------------------------------------------------------------------
+
+from repro.core.buffers import Poison
+from repro.core.nonblocking import NonBlockingResult
+from repro.mpi.requests import RawRequest
+
+
+class _StubRequest(RawRequest):
+    """Scriptable raw request for pool error-path tests."""
+
+    def __init__(self, value=None, error=None, ready=True):
+        self.value, self.error, self.ready = value, error, ready
+
+    def wait(self):
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def test(self):
+        if not self.ready:
+            return False, None
+        if self.error is not None:
+            raise self.error
+        return True, self.value
+
+
+def _result(value=None, error=None, ready=True):
+    return NonBlockingResult(_StubRequest(value, error, ready))
+
+
+def test_wait_all_drains_completed_after_failure():
+    pool = RequestPool()
+    pool.submit(_result(value=1))
+    failed = pool.submit(_result(error=RuntimeError("rank died")))
+    pool.submit(_result(value=3))
+    with pytest.raises(RuntimeError, match="rank died"):
+        pool.wait_all()
+    # completed values survive the failure instead of being lost...
+    assert pool.completed == [1, 3]
+    # ...the failure is recorded with its submission index...
+    assert [(i, r) for i, r, _ in pool.failures] == [(1, failed)]
+    assert isinstance(pool.failures[0][2], RuntimeError)
+    # ...and nothing stale stays pooled
+    assert len(pool) == 0
+
+
+def test_wait_all_keeps_pending_requests_pooled():
+    pool = RequestPool()
+    pool.submit(_result(value=1))
+    pool.submit(_result(error=RuntimeError("boom")))
+    pending = pool.submit(_result(value=9, ready=False))
+    with pytest.raises(RuntimeError):
+        pool.wait_all()
+    assert pool.completed == [1]
+    assert len(pool) == 1  # the genuinely pending request stays pooled
+    pending._raw.ready = True
+    assert pool.wait_all() == [9]
+
+
+def test_wait_all_records_multiple_failures_raises_first():
+    pool = RequestPool()
+    pool.submit(_result(error=KeyError("first")))
+    pool.submit(_result(error=ValueError("second")))
+    with pytest.raises(KeyError):
+        pool.wait_all()
+    assert [type(e) for _, _, e in pool.failures] == [KeyError, ValueError]
+
+
+def test_bounded_submit_failure_still_pools_new_result():
+    pool = BoundedRequestPool(slots=1)
+    pool.submit(_result(error=RuntimeError("oldest died")))
+    newest = _result(value=7)
+    with pytest.raises(RuntimeError, match="oldest died"):
+        pool.submit(newest)
+    # the failed oldest left the pool, was recorded, and the new result is
+    # pooled anyway — no request is silently dropped
+    assert len(pool) == 1 and len(pool.failures) == 1
+    assert pool.wait_all() == [7]
+    assert pool.displaced == []
+
+
+def test_failed_wait_releases_poisons():
+    buf = np.arange(4)
+    poison = Poison(buf)
+    result = NonBlockingResult(_StubRequest(error=RuntimeError("down")),
+                               poisons=[poison])
+    assert not buf.flags.writeable
+    with pytest.raises(RuntimeError):
+        result.wait()
+    assert poison.released and buf.flags.writeable  # buffer usable again

@@ -187,3 +187,79 @@ def test_many_to_one_fifo_per_source():
     res = runp(main, 4)
     for source, seq in res.values[0].items():
         assert seq == list(range(10)), source
+
+
+# ---------------------------------------------------------------------------
+# MPI_Cancel semantics: a matched receive must complete (the cancel race)
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_after_match_delivers():
+    """Cancelling a receive the deposit already matched must fail, and the
+    message must still be delivered — not silently dropped."""
+    def main(comm):
+        if comm.rank == 1:
+            comm.send(np.array([3, 4]), dest=0, tag=9)
+            comm.barrier()
+            return None
+        comm.barrier()  # the message has certainly arrived
+        req = comm.irecv(source=1, tag=9)  # matches from the unexpected queue
+        assert req.cancel() is False
+        assert req.cancelled is False
+        payload, status = req.wait()
+        return payload.tolist(), status.tag
+
+    assert runp(main, 2).values[0] == ([3, 4], 9)
+
+
+def test_cancel_before_match_requeues_message():
+    """A successfully cancelled receive must not consume a later message:
+    it stays in the unexpected queue for the next matching receive."""
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source=1, tag=2)
+            assert req.cancel() is True
+            assert req.cancel() is True  # idempotent
+            comm.barrier()  # now rank 1 sends
+            comm.barrier()
+            payload, _ = comm.recv(source=1, tag=2)
+            return payload.tolist()
+        comm.barrier()
+        comm.send(np.array([11]), dest=0, tag=2)
+        comm.barrier()
+        return None
+
+    assert runp(main, 2).values[0] == [11]
+
+
+def test_cancelled_recv_wait_raises_test_completes():
+    def main(comm):
+        req = comm.irecv(source=1, tag=6)
+        assert req.cancel()
+        done, value = req.test()
+        assert done and value is None
+        with pytest.raises(RawUsageError):
+            req.wait()
+        comm.barrier()
+        return "ok"
+
+    assert runp(main, 2).values[0] == "ok"
+
+
+def test_ssend_completes_when_matched_recv_cancel_fails():
+    """A synchronous sender must not be left believing its message was
+    received if the matching receive is then 'cancelled': the cancel fails
+    and the receive delivers, keeping both sides consistent."""
+    def main(comm):
+        if comm.rank == 1:
+            comm.ssend(np.array([5]), dest=0, tag=3)
+            return "sent"
+        req = comm.irecv(source=1, tag=3)
+        while not req._pr.event.wait(0.001):
+            pass  # wait for the ssend to match
+        assert req.cancel() is False
+        payload, _ = req.wait()
+        return payload.tolist()
+
+    res = runp(main, 2)
+    assert res.values == [[5], "sent"]
