@@ -109,6 +109,33 @@ def sample_sort_kamping(comm: Communicator, data: np.ndarray) -> np.ndarray:
     return common.local_sort(comm.raw, recv)
 
 
+def sample_sort_resilient(comm, data: np.ndarray, *, max_retries: int = 8):
+    """Fault-tolerant sample sort over a ULFM-extended communicator.
+
+    Runs :func:`sample_sort_kamping` as one epoch of a
+    :class:`~repro.plugins.resilience.ResilientScope`: each rank's input
+    block is buddy-checkpointed before the sort starts, so when a rank dies
+    mid-sort (even mid-collective) the survivors shrink, the victim's input
+    is adopted by its checkpoint buddy, and the sort restarts on the shrunk
+    communicator with *all* of the original data.  Returns ``(comm, block)``
+    — the surviving communicator and this rank's sorted block; blocks
+    concatenated in rank order equal the sorted full input, exactly as in a
+    failure-free run.
+    """
+    from repro.plugins.resilience import run_resilient
+
+    def epoch(c, shards, _epoch):
+        local = np.concatenate([np.asarray(v) for _, v in shards])
+        block = sample_sort_kamping(c, local)
+        return [(("sorted", c.raw.world_rank), block)]
+
+    scope = run_resilient(comm, epoch, [(("input", comm.raw.world_rank),
+                                         np.asarray(data))],
+                          label="sample-sort", max_retries=max_retries)
+    (_, block), = scope.shards
+    return scope.comm, block
+
+
 #: binding name → (implementation, communicator wrapper factory)
 SAMPLE_SORT_IMPLS = {
     "MPI": (sample_sort_mpi, lambda raw: raw),

@@ -19,7 +19,8 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         trace: bool | TraceRecorder = False,
         engine: Optional[CollectiveEngine] = None,
         sanitize: Optional[bool] = None,
-        fuzz_seed: Optional[int] = None) -> RunResult:
+        fuzz_seed: Optional[int] = None,
+        faults=None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
@@ -31,7 +32,8 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     :class:`~repro.mpi.engine.CollectiveEngine`); ``sanitize``/``fuzz_seed``
     enable the MPIsan resource auditor and seeded schedule fuzzer (see
     :mod:`repro.mpi.sanitizer`), defaulting to the ``REPRO_SANITIZE`` /
-    ``REPRO_FUZZ_SEED`` environment variables.
+    ``REPRO_FUZZ_SEED`` environment variables; ``faults`` injects a
+    :class:`~repro.mpi.faultinject.FaultCampaign`.
     """
 
     def entry(raw, *fn_args):
@@ -39,4 +41,4 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
                    deadline=deadline, trace=trace, engine=engine,
-                   sanitize=sanitize, fuzz_seed=fuzz_seed)
+                   sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults)

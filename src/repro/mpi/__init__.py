@@ -23,6 +23,15 @@ from repro.mpi.errors import (
     RawUsageError,
 )
 from repro.mpi.failures import FailureScript, no_failures
+from repro.mpi.faultinject import (
+    FaultCampaign,
+    KillAtCheckpoint,
+    KillMidCollective,
+    KillOnOp,
+    KillRandom,
+    Straggler,
+    env_fault_seed_default,
+)
 from repro.mpi.machine import Machine, RunResult, run_mpi
 from repro.mpi.ops import (
     BAND,
@@ -69,6 +78,8 @@ __all__ = [
     "RawMpiError", "RawUsageError", "RawTruncationError", "RawDeadlockError",
     "RawProcessFailure", "RawCommRevoked", "ProcessKilled",
     "FailureScript", "no_failures",
+    "FaultCampaign", "KillOnOp", "KillMidCollective", "KillRandom",
+    "Straggler", "KillAtCheckpoint", "env_fault_seed_default",
     "expect_calls", "call_delta", "snapshot",
     "TraceRecorder", "TraceEvent", "CallSpec", "calls", "NULL_TRACER",
     "size_bucket",

@@ -89,6 +89,8 @@ class RawComm:
 
     def _count(self, op: str) -> None:
         self.machine.profile[self.world_rank][op] += 1
+        if self.machine.faults is not None:
+            self.machine.faults.on_op(self, op)
 
     def _span(self, op: str, *, peers=(), tag=None, payload=None, sent=0,
               algorithm=None):
@@ -157,6 +159,8 @@ class RawComm:
 
     def _deposit(self, payload: Any, dest: int, tag: int, *, sync: bool = False,
                  packed: bool = False) -> Envelope:
+        if self.machine.faults is not None:
+            self.machine.faults.on_internal(self)
         self._check_peer(dest)
         clock = self.clock
         model = self.machine.cost_model
@@ -184,11 +188,15 @@ class RawComm:
 
     def _irecv(self, source: int, tag: int) -> RecvRequest:
         """Uncounted non-blocking receive (internal protocol machinery)."""
+        if self.machine.faults is not None:
+            self.machine.faults.on_internal(self)
         mb = self.state.mailboxes[self._rank]
         pr = mb.post(source, tag, self.clock.now)
         return RecvRequest(mb, pr, self.clock)
 
     def _recv(self, source: int, tag: int) -> tuple[Any, Status]:
+        if self.machine.faults is not None:
+            self.machine.faults.on_internal(self)
         mb = self.state.mailboxes[self._rank]
         pr = mb.post(source, tag, self.clock.now)
         env = mb.wait(pr)

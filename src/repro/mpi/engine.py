@@ -92,6 +92,10 @@ class CollectiveEngine:
             op: _registry.get(op, name) for op, name in forced.items()
         }
         self._tuning: dict[tuple[Hashable, str], tuple[TuningRule, ...]] = {}
+        #: observer called as ``fault_hook(op, algorithm_name)`` on every
+        #: resolution; a :class:`~repro.mpi.faultinject.FaultCampaign` installs
+        #: itself here so mid-collective kill rules can target one schedule
+        self.fault_hook = None
 
     # -- tuning table --------------------------------------------------------
 
@@ -160,6 +164,15 @@ class CollectiveEngine:
     def resolve(self, op: str, *, p: int, nbytes: int = 0,
                 comm_id: Hashable = None,
                 scoped: Optional[Sequence[TuningRule]] = None) -> Algorithm:
+        algo = self._resolve(op, p=p, nbytes=nbytes, comm_id=comm_id,
+                             scoped=scoped)
+        if self.fault_hook is not None:
+            self.fault_hook(op, algo.name)
+        return algo
+
+    def _resolve(self, op: str, *, p: int, nbytes: int,
+                 comm_id: Hashable,
+                 scoped: Optional[Sequence[TuningRule]]) -> Algorithm:
         forced = self._forced.get(op)
         if forced is not None:
             return forced

@@ -7,6 +7,12 @@ modelled by raising :class:`~repro.mpi.errors.ProcessKilled`, which unwinds
 the rank thread; peers subsequently observe
 :class:`~repro.mpi.errors.RawProcessFailure` from any operation that needs
 the dead rank.
+
+Scripted checkpoints are the simplest injection mode; for counted-operation,
+mid-collective, probabilistic, and slow-rank injection see
+:class:`~repro.mpi.faultinject.FaultCampaign`, whose
+:meth:`~repro.mpi.faultinject.FaultCampaign.checkpoint` method is a drop-in
+superset of this class.
 """
 
 from __future__ import annotations

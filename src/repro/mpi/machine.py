@@ -131,7 +131,8 @@ class Machine:
                  tracer: Optional[TraceRecorder] = None,
                  engine: Optional["CollectiveEngine"] = None,
                  auditor: Optional[ResourceAuditor] = None,
-                 fuzzer: Optional[ScheduleFuzzer] = None):
+                 fuzzer: Optional[ScheduleFuzzer] = None,
+                 faults=None):
         if num_ranks < 1:
             raise RawUsageError(f"num_ranks must be >= 1, got {num_ranks}")
         self.num_ranks = num_ranks
@@ -165,6 +166,11 @@ class Machine:
         self._shrink_results: dict[Hashable, tuple[int, ...]] = {}
         self.world = CommState(self, WORLD_ID, range(num_ranks))
         self._comms[WORLD_ID] = self.world
+        #: active fault-injection campaign (``None`` outside injected runs);
+        #: attach last — it wires itself into the engine's fault hook
+        self.faults = faults
+        if faults is not None:
+            faults.attach(self)
 
     # -- communicator registry -------------------------------------------
 
@@ -261,7 +267,8 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             trace: bool | TraceRecorder = False,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
-            fuzz_seed: Optional[int] = None) -> RunResult:
+            fuzz_seed: Optional[int] = None,
+            faults=None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
@@ -288,6 +295,12 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     seeded schedule fuzzer: deterministic per-rank delivery delays and
     poll-wakeup jitter that perturb real-time interleaving without touching
     virtual time (see :class:`~repro.mpi.sanitizer.ScheduleFuzzer`).
+
+    ``faults`` attaches a :class:`~repro.mpi.faultinject.FaultCampaign`
+    that kills or slows ranks at counted-operation entries, between the p2p
+    rounds of collective schedules, at scripted checkpoints, or by seeded
+    random draws (seed default: ``REPRO_FAULT_SEED``); injected faults show
+    up as ``fault:<kind>`` events on traced runs.
     """
     from repro.mpi.context import RawComm
 
@@ -308,7 +321,7 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
 
     machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline,
                       tracer=tracer, engine=engine, auditor=auditor,
-                      fuzzer=fuzzer)
+                      fuzzer=fuzzer, faults=faults)
     values: list[Any] = [None] * num_ranks
     errors: list[Optional[BaseException]] = [None] * num_ranks
 

@@ -352,6 +352,8 @@ class TraceRecorder:
                 cat = "timer"
             elif e.op.startswith("leak:"):
                 cat = "sanitizer"
+            elif e.op.startswith("fault:"):
+                cat = "fault"
             else:
                 cat = "mpi"
             trace_events.append({

@@ -21,6 +21,12 @@ from repro.plugins.reproducible_reduce import (
     local_segments,
     merge_segments,
 )
+from repro.plugins.resilience import (
+    CheckpointLost,
+    RecoveryFailed,
+    ResilientScope,
+    run_resilient,
+)
 from repro.plugins.sorter import DistributedSorter
 from repro.plugins.sparse_alltoall import SparseAlltoall
 from repro.plugins.ulfm import MPIFailureDetected, MPIRevokedError, ULFM
@@ -30,6 +36,7 @@ __all__ = [
     "HierarchicalAlltoall", "balanced_dims", "rank_to_coords", "coords_to_rank",
     "SparseAlltoall",
     "ULFM", "MPIFailureDetected", "MPIRevokedError",
+    "ResilientScope", "run_resilient", "RecoveryFailed", "CheckpointLost",
     "ReproducibleReduce", "local_segments", "merge_segments",
     "DistributedSorter",
 ]

@@ -16,7 +16,7 @@ mechanism of the plugin architecture (§III-F/III-G).
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
 from repro.core.errors import CommunicationFailure, KampingError, RevokedError
 from repro.core.plugins import CommunicatorPlugin, plugin_method
@@ -70,12 +70,22 @@ class ULFM(CommunicatorPlugin):
         return self.raw.failed_ranks()
 
     @plugin_method
-    def shrink(self, generation: Hashable = 0) -> "ULFM":
+    def shrink(self, generation: Optional[Hashable] = None) -> "ULFM":
         """Agree on the surviving ranks and build a communicator of them.
 
         ``generation`` distinguishes successive shrinks of the same
-        communicator (pass an epoch counter when shrinking repeatedly).
+        communicator.  By default each call uses an internal auto-
+        incrementing epoch, so repeated shrinks of one communicator object
+        never collide with a cached earlier agreement (the machine caches
+        rendezvous results per ``(comm, generation)``).  Pass an explicit
+        value to override — e.g. to coordinate the generation across ranks
+        holding *distinct* wrapper objects of the same communicator, where
+        each wrapper's private epoch counter would not be shared.
         """
+        if generation is None:
+            epoch = getattr(self, "_ulfm_shrink_epoch", 0)
+            self._ulfm_shrink_epoch = epoch + 1
+            generation = ("ulfm-auto", epoch)
         new_raw = self.raw.shrink(generation)
         return type(self)(new_raw)
 

@@ -295,6 +295,76 @@ class TestReportingModes:
         assert "no leaked" in report.summary()
 
 
+class TestSoftModeOnFailedRuns:
+    """Failed-rank runs audit in soft mode: report everything, raise nothing.
+
+    A rank that dies mid-operation tears down with requests posted, envelopes
+    undrained, and locks held — that is what dying *means*, not a bug in the
+    surviving code.  The auditor therefore only attaches the report to the
+    result when any rank failed; the identical leak in a failure-free run is
+    a hard :class:`ResourceLeakError`.
+    """
+
+    def test_killed_ranks_own_resources_reported_not_raised(self):
+        """The victim's leaked receive is in the report, but the run passes."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.irecv(source=1, tag=9)  # posted, then the rank dies
+                comm.kill_self()
+
+        res = runp(main, 2, sanitize=True)
+        assert res.failed == frozenset({0})
+        recs = res.leaks.by_kind().get("request")
+        assert recs and recs[0].world_rank == 0 and recs[0].tag == 9
+
+    def test_survivor_leak_on_failed_run_is_soft_too(self):
+        """Soft mode is run-global: once any rank died, even a *survivor's*
+        genuine leak only reports — failure unwinding routinely strands
+        survivor-side resources (e.g. a recv posted at a now-dead peer), and
+        the auditor cannot attribute blame post-mortem."""
+        def main(comm):
+            if comm.rank == 1:
+                comm.kill_self()
+            else:
+                comm.irecv(source=1, tag=3)  # never completes: peer is dead
+
+        res = runp(main, 2, sanitize=True)
+        assert res.failed == frozenset({1})
+        recs = res.leaks.by_kind().get("request")
+        assert recs and recs[0].world_rank == 0
+
+    def test_same_survivor_leak_in_clean_run_still_raises(self):
+        """The control for the soft path: no failure → the identical leaked
+        request is a hard error."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.irecv(source=1, tag=3)
+
+        with pytest.raises(ResourceLeakError) as exc:
+            runp(main, 2, sanitize=True)
+        (rec,) = _leak_of(exc, "request")
+        assert rec.world_rank == 0 and rec.tag == 3
+
+    def test_campaign_killed_rank_gets_soft_mode(self):
+        """Fault-campaign kills count as failures for the soft-mode gate."""
+        from repro.mpi import FaultCampaign, KillOnOp, RawProcessFailure
+
+        def main(comm):
+            if comm.rank == 1:
+                comm.send(np.array([5]), dest=0, tag=1)
+            else:
+                comm.irecv(source=1, tag=8)
+                try:
+                    comm.recv(source=1, tag=1)
+                except RawProcessFailure:
+                    pass
+
+        camp = FaultCampaign([KillOnOp(rank=1, op="send", nth=1)])
+        res = runp(main, 2, sanitize=True, faults=camp)
+        assert res.failed == frozenset({1})
+        assert res.leaks and res.leaks.by_kind().get("request")
+
+
 # ---------------------------------------------------------------------------
 # Schedule fuzzer: determinism contract and seed minimization
 # ---------------------------------------------------------------------------

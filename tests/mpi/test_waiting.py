@@ -1,0 +1,103 @@
+"""Backoff deadline edge cases: zero budgets, tiny budgets, exact expiry."""
+
+import pytest
+
+import repro.mpi.waiting as waiting
+from repro.mpi.waiting import INITIAL_STEP, MAX_STEP, MIN_STEP, Backoff
+
+
+class _FakeTime:
+    """Deterministic monotonic clock for exact-deadline scenarios."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def monotonic(self):
+        return self.now
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = _FakeTime()
+    monkeypatch.setattr(waiting, "time", fake)
+    return fake
+
+
+class TestZeroDeadline:
+    def test_expired_immediately(self, clock):
+        b = Backoff(0.0)
+        assert b.expired
+
+    def test_timeout_still_positive(self, clock):
+        """Wait loops pass next_timeout() to Condition.wait — it must never
+        be zero or negative even when the budget is already gone, or the
+        wait degenerates into a hot spin."""
+        b = Backoff(0.0)
+        assert b.next_timeout() == MIN_STEP
+        clock.now += 5.0
+        assert b.next_timeout() == MIN_STEP
+
+    def test_negative_deadline_behaves_like_zero(self, clock):
+        b = Backoff(-1.0)
+        assert b.expired
+        assert b.next_timeout() == MIN_STEP
+
+
+class TestDeadlineShorterThanFirstSleep:
+    def test_first_timeout_clamped_to_remaining(self, clock):
+        """A 0.3 ms budget must not hand out the 1 ms initial step — the
+        waiter would oversleep the deadline more than threefold."""
+        deadline = INITIAL_STEP * 0.3
+        b = Backoff(deadline)
+        assert b.next_timeout() == pytest.approx(deadline)
+
+    def test_clamped_but_never_below_min_step(self, clock):
+        b = Backoff(MIN_STEP / 10)
+        assert b.next_timeout() == MIN_STEP
+
+    def test_expires_after_budget_despite_short_sleeps(self, clock):
+        deadline = 2.0 ** -11  # binary-exact, ~0.49 ms < INITIAL_STEP
+        b = Backoff(deadline)
+        assert not b.expired
+        clock.now += deadline
+        assert b.expired
+
+
+class TestDeadlineHitExactlyAtWakeup:
+    def test_exact_boundary_is_expired(self, clock):
+        """``elapsed == deadline`` counts as expired (>=, not >): a waiter
+        that slept precisely its remaining budget must see expiry on the
+        wakeup it just paid for, not after one more sleep."""
+        b = Backoff(1.0)
+        clock.now += b.next_timeout()
+        while not b.expired:
+            clock.now += b.next_timeout()
+        assert b.elapsed == pytest.approx(1.0)
+
+    def test_one_nanosecond_short_is_not_expired(self, clock):
+        b = Backoff(1.0)
+        clock.now += 1.0 - 1e-9
+        assert not b.expired
+        clock.now += 1e-9
+        assert b.expired
+
+
+class TestBackoffGrowth:
+    def test_doubles_to_cap(self, clock):
+        b = Backoff(1e9)
+        steps = [b.next_timeout() for _ in range(12)]
+        assert steps[0] == INITIAL_STEP
+        assert steps[1] == INITIAL_STEP * 2
+        assert steps[-1] == MAX_STEP
+        assert max(steps) <= MAX_STEP
+
+    def test_elapsed_counts_real_time_not_steps(self, clock):
+        """Early wakeups (notify for someone else's message) must not stall
+        the deadline: elapsed tracks the clock, not the sum of timeouts."""
+        b = Backoff(10.0)
+        for _ in range(100):
+            b.next_timeout()  # "slept" 0 real seconds each time
+        assert b.elapsed == 0.0
+        assert not b.expired
+        clock.now += 10.0
+        assert b.expired

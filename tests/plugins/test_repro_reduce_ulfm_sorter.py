@@ -1,4 +1,7 @@
-"""Reproducible reduce (§V-C), ULFM (§V-B), and the distributed sorter plugins."""
+"""Reproducible reduce (§V-C) and the distributed sorter plugins.
+
+The ULFM tests (§V-B, Fig. 12) live in :mod:`tests.plugins.test_ulfm`.
+"""
 
 import numpy as np
 import pytest
@@ -8,17 +11,13 @@ from repro.core import Communicator, extend, send_buf, op
 from repro.mpi import MAX, SUM, user_op
 from repro.plugins import (
     DistributedSorter,
-    MPIFailureDetected,
-    MPIRevokedError,
     ReproducibleReduce,
-    ULFM,
     local_segments,
     merge_segments,
 )
 from tests.conftest import runk
 
 RRComm = extend(Communicator, ReproducibleReduce)
-FTComm = extend(Communicator, ULFM)
 SortComm = extend(Communicator, DistributedSorter)
 
 
@@ -119,70 +118,7 @@ def test_reduce_reproducible_max_op():
 
 
 # ---------------------------------------------------------------------------
-# ULFM
-# ---------------------------------------------------------------------------
-
-def test_fig12_failure_recovery():
-    def main(comm):
-        if comm.rank == 1:
-            comm.raw.kill_self()
-        try:
-            comm.allreduce_single(send_buf(1), op(SUM))
-            return "unexpected"
-        except MPIFailureDetected:
-            if not comm.is_revoked:
-                comm.revoke()
-            comm = comm.shrink(generation=1)
-            return ("recovered", comm.size,
-                    comm.allreduce_single(send_buf(1), op(SUM)))
-
-    res = runk(main, 4, comm_class=FTComm)
-    for r in (0, 2, 3):
-        assert res.values[r] == ("recovered", 3, 3)
-    assert res.values[1] is None
-
-
-def test_revoked_comm_raises_revoked_error():
-    def main(comm):
-        comm.revoke()
-        try:
-            comm.allreduce_single(send_buf(1), op(SUM))
-        except MPIRevokedError:
-            return "revoked"
-
-    assert all(v == "revoked" for v in runk(main, 2, comm_class=FTComm).values)
-
-
-def test_revoked_error_is_failure_subclass():
-    assert issubclass(MPIRevokedError, MPIFailureDetected)
-
-
-def test_agree_after_failure():
-    def main(comm):
-        if comm.rank == 2:
-            comm.raw.kill_self()
-        return comm.agree(True, generation="g1")
-
-    res = runk(main, 3, comm_class=FTComm)
-    assert res.values[0] is True and res.values[1] is True
-
-
-def test_shrunk_comm_keeps_plugin_type():
-    def main(comm):
-        if comm.rank == 0:
-            comm.raw.kill_self()
-        import time
-        while not comm.raw.failed_ranks():
-            time.sleep(0.01)
-        shrunk = comm.shrink(generation=5)
-        return isinstance(shrunk, ULFM)
-
-    res = runk(main, 3, comm_class=FTComm)
-    assert res.values[1] is True
-
-
-# ---------------------------------------------------------------------------
-# sorter
+# sorter  (ULFM tests moved to tests/plugins/test_ulfm.py)
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("p", [1, 2, 4, 7])
