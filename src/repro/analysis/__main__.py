@@ -1,0 +1,56 @@
+"""CLI: ``python -m repro.analysis <paths...>``.
+
+Exit status 0 when no findings survive suppression, 1 otherwise (2 for
+usage errors), so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import CODES, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: static SPMD communication verifier and "
+                    "AST lint for the named-parameter API",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--no-spmd", action="store_true",
+                        help="skip the Layer-2 SPMD protocol checker")
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print every finding code and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_codes:
+        for code in sorted(CODES.values(), key=lambda c: c.id):
+            print(f"{code.id}  [layer {code.layer}]  {code.title}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-codes)", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths, spmd=not args.no_spmd)
+    if args.format == "json":
+        print(json.dumps([f.as_json() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        if findings:
+            print(f"\nreprolint: {len(findings)} finding"
+                  f"{'s' if len(findings) != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

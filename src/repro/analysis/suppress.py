@@ -1,0 +1,66 @@
+"""``# reprolint: disable=`` comment handling.
+
+Two suppression forms, modelled on the conventions of pylint/ruff:
+
+- ``# reprolint: disable=RPL005`` on a line suppresses the listed codes
+  (comma-separated, or the word ``all``) for findings *on that line*;
+- ``# reprolint: disable-file=RPL104`` anywhere in the file suppresses the
+  listed codes for the whole file.
+
+Suppressions are parsed from the token stream, not by regex over raw lines,
+so string literals that merely *contain* the marker do not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_MARKER = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9,\s]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line and whole-file suppressed codes for one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if "all" in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        return codes is not None and ("all" in codes or code in codes)
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Parse every ``# reprolint:`` comment in ``source``."""
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(tok.string)
+            if match is None:
+                continue
+            kind, raw = match.groups()
+            codes = _parse_codes(raw)
+            if kind == "disable-file":
+                sup.file_wide |= codes
+            else:
+                sup.by_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass  # the parser reports the syntax problem as RPL000
+    return sup
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip() for part in raw.split(",") if part.strip()
+    )

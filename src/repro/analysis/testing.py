@@ -1,0 +1,41 @@
+"""Test helpers for reprolint.
+
+:func:`lint_clean` asserts that source (or files) produce no findings; the
+repo's conftest re-exports it as the ``lint_clean`` pytest fixture so test
+suites can guard their communication kernels::
+
+    def test_my_kernel_is_lint_clean(lint_clean):
+        lint_clean(Path("src/repro/apps/stencil.py"))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.analysis import Finding, lint_file, lint_source
+
+
+def lint_clean(target: Union[str, Path], *, spmd: bool = True) -> None:
+    """Assert that ``target`` has no reprolint findings.
+
+    ``target`` is a :class:`~pathlib.Path` (linted as a file or directory) or
+    a string of source code.  Raises :class:`AssertionError` listing every
+    finding otherwise.
+    """
+    findings: List[Finding]
+    if isinstance(target, Path):
+        if target.is_dir():
+            findings = []
+            for p in sorted(target.rglob("*.py")):
+                findings.extend(lint_file(p, spmd=spmd))
+        else:
+            findings = lint_file(target, spmd=spmd)
+    else:
+        findings = lint_source(target, spmd=spmd)
+    if findings:
+        rendered = "\n".join(f.render() for f in findings)
+        raise AssertionError(
+            f"expected lint-clean code, got {len(findings)} finding(s):\n"
+            f"{rendered}"
+        )

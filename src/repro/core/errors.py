@@ -15,7 +15,57 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from enum import IntEnum
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# shared diagnostic message table
+# ---------------------------------------------------------------------------
+# The exact wording of the parameter-contract diagnostics is produced by the
+# functions below and *only* here.  Both the runtime (the exception classes in
+# this module, raised at call-plan compilation) and the static analyzer
+# (``repro.analysis``, which reports the same defects without running the
+# program) render their messages through this table, so the static and
+# runtime diagnostics can never drift apart.  Golden tests pin the strings
+# (tests/core/test_error_messages.py).
+
+
+def missing_parameter_message(op: str, key: str,
+                              required: Sequence[str]) -> str:
+    """A required named parameter was not supplied."""
+    return (
+        f"{op}() is missing the required parameter '{key}'. "
+        f"Required parameters: {', '.join(required)}."
+    )
+
+
+def unsupported_parameter_message(op: str, key: str,
+                                  allowed: Sequence[str]) -> str:
+    """A named parameter the operation does not accept was supplied."""
+    return (
+        f"{op}() does not accept the parameter '{key}'. "
+        f"Accepted parameters: {', '.join(sorted(allowed))}."
+    )
+
+
+def duplicate_parameter_message(op: str, keys: Sequence[str]) -> str:
+    """The same named parameter(s) were supplied more than once."""
+    if len(keys) == 1:
+        return f"{op}() received the parameter '{keys[0]}' more than once."
+    listed = ", ".join(f"'{k}'" for k in keys)
+    return f"{op}() received the parameters {listed} more than once."
+
+
+def ignored_parameter_message(op: str, key: str, reason: str,
+                              allowed: Sequence[str] = ()) -> str:
+    """A parameter the (in-place) variant would silently ignore was supplied."""
+    message = (
+        f"{op}(): parameter '{key}' would be ignored ({reason}); "
+        f"remove it or use the non-in-place variant."
+    )
+    if allowed:
+        message += f" Accepted parameters: {', '.join(sorted(allowed))}."
+    return message
 
 
 class KampingError(Exception):
@@ -36,10 +86,7 @@ class MissingParameterError(UsageError):
     def __init__(self, op: str, key: str, required: tuple[str, ...]):
         self.op = op
         self.key = key
-        super().__init__(
-            f"{op}() is missing the required parameter '{key}'. "
-            f"Required parameters: {', '.join(required)}."
-        )
+        super().__init__(missing_parameter_message(op, key, required))
 
 
 class UnsupportedParameterError(UsageError):
@@ -48,31 +95,35 @@ class UnsupportedParameterError(UsageError):
     def __init__(self, op: str, key: str, allowed: tuple[str, ...]):
         self.op = op
         self.key = key
-        super().__init__(
-            f"{op}() does not accept the parameter '{key}'. "
-            f"Accepted parameters: {', '.join(sorted(allowed))}."
-        )
+        super().__init__(unsupported_parameter_message(op, key, allowed))
 
 
 class DuplicateParameterError(UsageError):
-    """The same named parameter was supplied more than once."""
+    """The same named parameter was supplied more than once.
 
-    def __init__(self, op: str, key: str):
-        super().__init__(f"{op}() received the parameter '{key}' more than once.")
+    ``keys`` may name several parameters: the call-plan compiler collects
+    *every* duplicated key before raising, so one diagnostic lists them all.
+    """
+
+    def __init__(self, op: str, keys: Union[str, Sequence[str]]):
+        self.op = op
+        self.keys = (keys,) if isinstance(keys, str) else tuple(keys)
+        super().__init__(duplicate_parameter_message(op, self.keys))
 
 
 class IgnoredParameterError(UsageError):
     """A parameter was supplied that the in-place variant would silently ignore.
 
     KaMPIng turns MPI's silent-ignore semantics (e.g. send count on an
-    in-place allgather) into an error (Section III-G).
+    in-place allgather) into an error (Section III-G).  The message enumerates
+    the parameters the call *does* accept.
     """
 
-    def __init__(self, op: str, key: str, reason: str):
-        super().__init__(
-            f"{op}(): parameter '{key}' would be ignored ({reason}); "
-            f"remove it or use the non-in-place variant."
-        )
+    def __init__(self, op: str, key: str, reason: str,
+                 allowed: Sequence[str] = ()):
+        self.op = op
+        self.key = key
+        super().__init__(ignored_parameter_message(op, key, reason, allowed))
 
 
 class BufferResizeError(KampingError):

@@ -126,6 +126,7 @@ def compile_plan(spec: OpSpec, params: Sequence[Parameter]) -> CallPlan:
     human-readable messages naming the operation and the offending parameter.
     """
     index: dict[str, int] = {}
+    duplicated: list[str] = []
     for i, p in enumerate(params):
         if not isinstance(p, Parameter):
             raise UsageError(
@@ -135,10 +136,15 @@ def compile_plan(spec: OpSpec, params: Sequence[Parameter]) -> CallPlan:
         if not is_registered(p.key):
             raise UsageError(f"unknown parameter key {p.key!r}")
         if p.key in index:
-            raise DuplicateParameterError(spec.name, p.key)
+            if p.key not in duplicated:
+                duplicated.append(p.key)
+            continue
         if p.key not in spec.allowed:
             raise UnsupportedParameterError(spec.name, p.key, tuple(spec.allowed))
         index[p.key] = i
+    if duplicated:
+        # every duplicated key is collected first so one diagnostic lists all
+        raise DuplicateParameterError(spec.name, duplicated)
 
     for req in spec.required:
         if req not in index:
@@ -148,7 +154,8 @@ def compile_plan(spec: OpSpec, params: Sequence[Parameter]) -> CallPlan:
         if present in index and forbidden in index:
             from repro.core.errors import IgnoredParameterError
 
-            raise IgnoredParameterError(spec.name, forbidden, reason)
+            raise IgnoredParameterError(spec.name, forbidden, reason,
+                                        tuple(spec.allowed))
 
     provided_in = frozenset(
         p.key for p in params if p.direction in (IN, INOUT)

@@ -1,0 +1,8 @@
+# expect: RPL001
+"""gather() without its required send_buf: MissingParameterError, statically."""
+
+from repro.core.named_params import root
+
+
+def main(comm):
+    return comm.gather(root(0))

@@ -1,0 +1,8 @@
+# expect: RPL002
+"""barrier() takes no parameters at all."""
+
+from repro.core.named_params import send_buf
+
+
+def main(comm):
+    comm.barrier(send_buf([1, 2, 3]))

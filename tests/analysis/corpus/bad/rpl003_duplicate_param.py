@@ -1,0 +1,8 @@
+# expect: RPL003
+"""The same named parameter passed twice."""
+
+from repro.core.named_params import send_buf
+
+
+def main(comm):
+    return comm.allgatherv(send_buf([comm.rank]), send_buf([comm.rank * 2]))

@@ -1,0 +1,10 @@
+# expect: RPL004
+"""send_count alongside send_recv_buf: the in-place variant would ignore it."""
+
+from repro.core.named_params import send_count, send_recv_buf
+
+
+def main(comm):
+    buf = [0.0] * comm.size
+    buf[comm.rank] = float(comm.rank)
+    comm.allgather(send_recv_buf(buf), send_count(1))

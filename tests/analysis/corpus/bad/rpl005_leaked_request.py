@@ -1,0 +1,21 @@
+# expect: RPL005
+# expect: RPL005
+"""Non-blocking requests that are never (or not always) completed."""
+
+from repro.core.named_params import destination, send_buf, source
+
+
+def discarded(comm):
+    # the NonBlockingResult is dropped on the floor
+    comm.isend(send_buf([comm.rank]), destination((comm.rank + 1) % comm.size))
+    req = comm.irecv(source((comm.rank - 1) % comm.size))
+    return req.wait()
+
+
+def early_return(comm, flag):
+    req = comm.irecv(source((comm.rank - 1) % comm.size))
+    comm.isend(send_buf([comm.rank]),
+               destination((comm.rank + 1) % comm.size)).wait()
+    if flag:
+        return None  # req is still pending on this path
+    return req.wait()

@@ -1,0 +1,13 @@
+# expect: RPL006
+"""A container read again after being move()-d into a call."""
+
+import operator
+
+from repro.core.buffers import move
+from repro.core.named_params import op, send_buf
+
+
+def main(comm):
+    data = [float(comm.rank)] * 4
+    result = comm.allreduce(send_buf(move(data)), op(operator.add))
+    return len(data), result  # data was moved: owned by the call now

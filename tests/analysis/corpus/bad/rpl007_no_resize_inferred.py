@@ -1,0 +1,11 @@
+# expect: RPL007
+"""A no_resize recv container combined with library-inferred counts."""
+
+from repro.core.named_params import recv_buf, root, send_buf
+
+
+def main(comm):
+    out = [0] * 4  # wrong whenever ranks contribute != 4/size elements
+    comm.gatherv(send_buf([comm.rank] * (comm.rank + 1)), recv_buf(out),
+                 root(0))
+    return out

@@ -1,0 +1,8 @@
+# expect: RPL008
+"""A bare literal where a named-parameter factory is required."""
+
+from repro.core.named_params import root
+
+
+def main(comm):
+    return comm.bcast_single([1, 2, 3], root(0))

@@ -1,0 +1,11 @@
+# expect: RPL101
+"""Rank 0 enters a bcast while the others are in barrier: deadlock."""
+
+from repro.core.named_params import root, send_recv_buf
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.bcast(send_recv_buf([1.0, 2.0]), root(0))
+    else:
+        comm.barrier()

@@ -1,0 +1,13 @@
+# expect: RPL101
+"""The last rank returns before the collective: the others wait forever."""
+
+import operator
+
+from repro.core.named_params import op, send_buf
+
+
+def main(comm):
+    if comm.rank == comm.size - 1:
+        return 0.0
+    return comm.allreduce_single(send_buf(float(comm.rank)),
+                                 op(operator.add))

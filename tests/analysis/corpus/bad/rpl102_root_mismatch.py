@@ -1,0 +1,10 @@
+# expect: RPL102
+"""Every rank names itself as the bcast root."""
+
+from repro.core.named_params import root, send_recv_buf
+
+
+def main(comm):
+    values = [0.0] * 4
+    comm.bcast(send_recv_buf(values), root(comm.rank))
+    return values

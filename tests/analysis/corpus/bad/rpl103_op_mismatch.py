@@ -1,0 +1,12 @@
+# expect: RPL103
+"""Rank 0 reduces with SUM while the rest use PROD."""
+
+import operator
+
+from repro.core.named_params import op, send_buf
+
+
+def main(comm):
+    if comm.rank == 0:
+        return comm.allreduce(send_buf([1.0]), op(operator.add))
+    return comm.allreduce(send_buf([1.0]), op(operator.mul))

@@ -1,0 +1,13 @@
+# expect: RPL104
+# expect: RPL104
+"""Send with tag 7, recv expecting tag 8: neither can ever complete."""
+
+from repro.core.named_params import destination, send_buf, source, tag
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.send(send_buf([1, 2, 3]), destination(1), tag(7))
+    elif comm.rank == 1:
+        return comm.recv(source(0), tag(8))
+    return None

@@ -1,0 +1,11 @@
+"""gatherv with an explicitly resizable out-container: no RPL007."""
+
+from repro.core.named_params import recv_buf, root, send_buf
+from repro.core.resize import resize_to_fit
+
+
+def main(comm):
+    out = []
+    comm.gatherv(send_buf([comm.rank] * (comm.rank + 1)),
+                 recv_buf(out, resize=resize_to_fit), root(0))
+    return out

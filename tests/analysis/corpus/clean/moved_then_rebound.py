@@ -1,0 +1,12 @@
+"""move() is fine as long as the name is rebound before its next read."""
+
+import operator
+
+from repro.core.buffers import move
+from repro.core.named_params import op, send_buf
+
+
+def main(comm):
+    data = [float(comm.rank)] * 4
+    data = comm.allreduce(send_buf(move(data)), op(operator.add))
+    return data

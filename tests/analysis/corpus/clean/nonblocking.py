@@ -1,0 +1,15 @@
+"""Non-blocking traffic whose requests complete on every path."""
+
+from repro.core.named_params import destination, send_buf, source
+
+
+def main(comm, flag):
+    req = comm.irecv(source((comm.rank - 1) % comm.size))
+    out = comm.isend(send_buf([comm.rank]),
+                     destination((comm.rank + 1) % comm.size))
+    out.wait()
+    if flag:
+        value = req.wait()
+    else:
+        value = req.wait()
+    return value

@@ -1,0 +1,12 @@
+"""The canonical quickstart shape: bcast, then an allreduce."""
+
+import operator
+
+from repro.core.named_params import op, root, send_buf, send_recv_buf
+
+
+def main(comm):
+    params = [1.0, 0.5, 0.25]
+    comm.bcast(send_recv_buf(params), root(0))
+    total = comm.allreduce(send_buf([float(comm.rank)]), op(operator.add))
+    return params, total

@@ -1,0 +1,18 @@
+"""Rank-dependent *computation* with rank-uniform *communication*."""
+
+import operator
+
+from repro.core.named_params import op, root, send_buf, send_recv_buf
+
+
+def main(comm):
+    if comm.rank == 0:
+        chunk = [1.0] * 8
+    else:
+        chunk = [0.0] * 8
+    comm.bcast(send_recv_buf(chunk), root(0))
+    for _ in range(3):
+        partial = sum(chunk) * comm.rank
+        chunk[0] = comm.allreduce_single(send_buf(partial),
+                                         op(operator.add))
+    return chunk

@@ -1,0 +1,10 @@
+"""A ring exchange: every send has exactly one matching recv."""
+
+from repro.core.named_params import destination, send_buf, source, tag
+
+
+def main(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(send_buf([comm.rank]), destination(right), tag(3))
+    return comm.recv(source(left), tag(3))

@@ -1,0 +1,11 @@
+"""A justified suppression: the request's completion is delegated to the
+runtime sanitizer in this fire-and-forget probe, so RPL005 is disabled at
+the call site (and would be reported without the comment)."""
+
+from repro.core.named_params import destination, send_buf
+
+
+def fire_and_forget(comm):
+    # completion is audited by MPIsan at finalize; latency probe only
+    comm.isend(send_buf([comm.rank]),  # reprolint: disable=RPL005
+               destination((comm.rank + 1) % comm.size))

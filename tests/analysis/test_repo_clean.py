@@ -1,0 +1,24 @@
+"""The repository's own communication code must stay reprolint-clean.
+
+This is the in-tree mirror of the CI reprolint job: examples, apps, and
+plugins are linted with both layers enabled.  A finding here means either a
+real defect slipped in or the linter grew a false positive — both block.
+"""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+TREES = [
+    REPO / "examples",
+    REPO / "src" / "repro" / "apps",
+    REPO / "src" / "repro" / "plugins",
+]
+
+
+@pytest.mark.parametrize("tree", TREES, ids=lambda p: p.name)
+def test_tree_is_lint_clean(lint_clean, tree):
+    assert tree.is_dir(), tree
+    lint_clean(tree)

@@ -98,3 +98,11 @@ def runk(fn, p, *, args=(), cost_model=None, comm_class=Communicator,
 @pytest.fixture
 def rng():
     return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture
+def lint_clean():
+    """Assert a file, directory, or source string is reprolint-clean."""
+    from repro.analysis.testing import lint_clean as _lint_clean
+
+    return _lint_clean

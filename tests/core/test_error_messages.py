@@ -1,0 +1,160 @@
+"""Golden tests for the shared diagnostic message table.
+
+The exact wording of the parameter-contract diagnostics is produced only in
+:mod:`repro.core.errors`; the runtime exceptions and the static analyzer
+(reprolint) both render through it.  These tests pin the strings — if a
+message changes, both halves change together or this file fails.
+"""
+
+import pytest
+
+from repro.core import (
+    DuplicateParameterError,
+    IgnoredParameterError,
+    MissingParameterError,
+    UnsupportedParameterError,
+)
+from repro.core.communicator import SPECS
+from repro.core.errors import (
+    duplicate_parameter_message,
+    ignored_parameter_message,
+    missing_parameter_message,
+    unsupported_parameter_message,
+)
+from repro.core.plans import compile_plan
+from repro.core.named_params import (
+    recv_counts_out,
+    root,
+    send_buf,
+    send_count,
+    send_recv_buf,
+)
+
+from repro.analysis import lint_source
+
+
+class TestGoldenMessages:
+    """The table's exact renderings."""
+
+    def test_missing(self):
+        assert missing_parameter_message("gather", "send_buf",
+                                         ("send_buf",)) == (
+            "gather() is missing the required parameter 'send_buf'. "
+            "Required parameters: send_buf."
+        )
+
+    def test_unsupported_sorts_accepted(self):
+        assert unsupported_parameter_message("bcast", "destination",
+                                             ("root", "send_recv_buf")) == (
+            "bcast() does not accept the parameter 'destination'. "
+            "Accepted parameters: root, send_recv_buf."
+        )
+
+    def test_duplicate_single(self):
+        assert duplicate_parameter_message("allgatherv", ("send_buf",)) == (
+            "allgatherv() received the parameter 'send_buf' more than once."
+        )
+
+    def test_duplicate_many(self):
+        assert duplicate_parameter_message("allgatherv",
+                                           ("send_buf", "root")) == (
+            "allgatherv() received the parameters 'send_buf', 'root' "
+            "more than once."
+        )
+
+    def test_ignored_with_accepted_list(self):
+        msg = ignored_parameter_message(
+            "allgather", "send_buf", "in-place via send_recv_buf",
+            ("send_recv_buf", "send_buf"),
+        )
+        assert msg == (
+            "allgather(): parameter 'send_buf' would be ignored "
+            "(in-place via send_recv_buf); remove it or use the "
+            "non-in-place variant. "
+            "Accepted parameters: send_buf, send_recv_buf."
+        )
+
+
+class TestRuntimeUsesTable:
+    """The exception classes render exactly what the table produces."""
+
+    def test_missing_parameter_error(self):
+        err = MissingParameterError("gather", "send_buf", ("send_buf",))
+        assert str(err) == missing_parameter_message(
+            "gather", "send_buf", ("send_buf",))
+
+    def test_unsupported_parameter_error(self):
+        err = UnsupportedParameterError("barrier", "send_buf", ())
+        assert str(err) == unsupported_parameter_message(
+            "barrier", "send_buf", ())
+
+    def test_duplicate_parameter_error_accepts_one_or_many(self):
+        single = DuplicateParameterError("bcast", "root")
+        assert single.keys == ("root",)
+        many = DuplicateParameterError("bcast", ("root", "send_recv_buf"))
+        assert many.keys == ("root", "send_recv_buf")
+        assert str(many) == duplicate_parameter_message(
+            "bcast", ("root", "send_recv_buf"))
+
+    def test_ignored_parameter_error(self):
+        err = IgnoredParameterError("allgather", "send_count", "in-place",
+                                    ("send_recv_buf",))
+        assert str(err) == ignored_parameter_message(
+            "allgather", "send_count", "in-place", ("send_recv_buf",))
+
+    def test_compile_plan_collects_every_duplicate(self):
+        spec = SPECS["allgatherv"]
+        with pytest.raises(DuplicateParameterError) as exc:
+            compile_plan(spec, (send_buf([1]), send_buf([2]),
+                                recv_counts_out(), recv_counts_out()))
+        assert exc.value.keys == ("send_buf", "recv_counts")
+        assert "'send_buf', 'recv_counts' more than once" in str(exc.value)
+
+    def test_compile_plan_ignored_lists_accepted(self):
+        spec = SPECS["allgather"]
+        with pytest.raises(IgnoredParameterError) as exc:
+            compile_plan(spec, (send_recv_buf([1, 2]), send_count(1)))
+        assert "Accepted parameters:" in str(exc.value)
+
+
+class TestStaticMatchesRuntime:
+    """reprolint renders the identical strings for the same defects."""
+
+    @staticmethod
+    def _messages(source, code):
+        return [f.message for f in lint_source(source) if f.code == code]
+
+    def test_missing(self):
+        src = "def main(comm):\n    comm.gather(root(0))\n"
+        spec = SPECS["gather"]
+        assert self._messages(src, "RPL001") == [
+            missing_parameter_message("gather", "send_buf",
+                                      tuple(spec.required))
+        ]
+
+    def test_unsupported(self):
+        src = ("def main(comm):\n"
+               "    comm.barrier(send_buf([1]))\n")
+        assert self._messages(src, "RPL002") == [
+            unsupported_parameter_message("barrier", "send_buf",
+                                          tuple(SPECS["barrier"].allowed))
+        ]
+
+    def test_duplicate(self):
+        src = ("def main(comm):\n"
+               "    comm.allgatherv(send_buf([1]), send_buf([2]))\n")
+        assert self._messages(src, "RPL003") == [
+            duplicate_parameter_message("allgatherv", ("send_buf",))
+        ]
+
+    def test_ignored(self):
+        src = ("def main(comm):\n"
+               "    comm.allgather(send_recv_buf([0]), send_count(1))\n")
+        runtime_msg = None
+        try:
+            compile_plan(SPECS["allgather"],
+                         (send_recv_buf([0]), send_count(1)))
+        except IgnoredParameterError as exc:
+            runtime_msg = str(exc)
+        assert runtime_msg is not None
+        assert self._messages(src, "RPL004") == [runtime_msg]
