@@ -20,7 +20,8 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         engine: Optional[CollectiveEngine] = None,
         sanitize: Optional[bool] = None,
         fuzz_seed: Optional[int] = None,
-        faults=None) -> RunResult:
+        faults=None,
+        backend=None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
@@ -33,7 +34,9 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     enable the MPIsan resource auditor and seeded schedule fuzzer (see
     :mod:`repro.mpi.sanitizer`), defaulting to the ``REPRO_SANITIZE`` /
     ``REPRO_FUZZ_SEED`` environment variables; ``faults`` injects a
-    :class:`~repro.mpi.faultinject.FaultCampaign`.
+    :class:`~repro.mpi.faultinject.FaultCampaign`; ``backend`` selects the
+    execution backend (``"thread"``/``"process"``, default: the
+    ``REPRO_BACKEND`` environment variable — see :mod:`repro.mpi.backends`).
     """
 
     def entry(raw, *fn_args):
@@ -41,4 +44,5 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
                    deadline=deadline, trace=trace, engine=engine,
-                   sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults)
+                   sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults,
+                   backend=backend)

@@ -9,6 +9,13 @@ simulated running times the benchmarks report.
 
 from repro.mpi import algorithms
 from repro.mpi.algorithms import Algorithm
+from repro.mpi.backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, IN_PLACE, PROC_NULL
 from repro.mpi.context import RawComm
 from repro.mpi.costmodel import FREE, Clock, CostModel
@@ -21,6 +28,7 @@ from repro.mpi.errors import (
     RawProcessFailure,
     RawTruncationError,
     RawUsageError,
+    UnsupportedOnBackend,
 )
 from repro.mpi.failures import FailureScript, no_failures
 from repro.mpi.faultinject import (
@@ -77,6 +85,9 @@ __all__ = [
     "Status", "RawRequest", "waitall", "testall", "waitany",
     "RawMpiError", "RawUsageError", "RawTruncationError", "RawDeadlockError",
     "RawProcessFailure", "RawCommRevoked", "ProcessKilled",
+    "UnsupportedOnBackend",
+    "Backend", "ThreadBackend", "ProcessBackend", "BACKENDS",
+    "resolve_backend",
     "FailureScript", "no_failures",
     "FaultCampaign", "KillOnOp", "KillMidCollective", "KillRandom",
     "Straggler", "KillAtCheckpoint", "env_fault_seed_default",

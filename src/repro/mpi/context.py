@@ -630,6 +630,7 @@ class RawComm:
         """Collectively create an RMA window over ``local`` (``MPI_Win_create``)."""
         from repro.mpi.rma import RawWindow
 
+        self.machine.require("rma", "RMA windows (win_create)")
         self._count("win_create")
         self._check_usable()
         seq = self._mgmt_seq
@@ -643,10 +644,12 @@ class RawComm:
         """Simulate this process dying (failure injection)."""
         from repro.mpi.errors import ProcessKilled
 
+        self.machine.require("failures", "failure injection (kill_self)")
         raise ProcessKilled(self.world_rank)
 
     def revoke(self) -> None:
         """ULFM ``MPI_Comm_revoke``: mark the communicator unusable everywhere."""
+        self.machine.require("ulfm", "ULFM revocation (comm_revoke)")
         self._count("comm_revoke")
         with self._span("comm_revoke", peers="all"):
             self.state.revoked.set()
@@ -664,6 +667,7 @@ class RawComm:
 
     def shrink(self, generation: Hashable = 0) -> "RawComm":
         """ULFM ``MPI_Comm_shrink``: agree on survivors, build a new communicator."""
+        self.machine.require("ulfm", "ULFM shrink (comm_shrink)")
         self._count("comm_shrink")
         with self._span("comm_shrink", peers="all"):
             alive = self.machine.shrink_rendezvous(self.state, generation,
@@ -674,6 +678,7 @@ class RawComm:
 
     def agree(self, flag: bool, generation: Hashable = 0) -> bool:
         """ULFM ``MPI_Comm_agree`` (restricted to alive members): logical AND."""
+        self.machine.require("ulfm", "ULFM agreement (comm_agree)")
         self._count("comm_agree")
         with self._span("comm_agree", peers="all"):
             return self._agree(flag, generation)

@@ -9,12 +9,35 @@ and sized by serialization, which models what a C program would do by packing.
 from __future__ import annotations
 
 import copy
+import io
 import pickle
 from typing import Any
 
 import numpy as np
 
 _SCALAR_NBYTES = 8  # ints/floats modelled as 64-bit words
+
+
+def _pickled_size(obj: Any) -> int:
+    """Pickled size with memoization disabled.
+
+    The memo makes ``len(pickle.dumps(x))`` depend on object *identity*
+    (repeated references collapse to back-references), which differs between
+    execution backends: a payload aggregated from in-process objects shares
+    interned constants, the same payload aggregated from unpickled pipe
+    messages does not.  Sizing without the memo keeps the cost model a pure
+    function of the payload's value.  Self-referential payloads cannot be
+    pickled memo-free; fall back to a plain dump — their internal sharing is
+    reproduced by unpickling, so that size is identity-stable too.
+    """
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+    pickler.fast = True
+    try:
+        pickler.dump(obj)
+    except (ValueError, RecursionError):
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    return buf.tell()
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -38,7 +61,7 @@ def payload_nbytes(obj: Any) -> int:
     ):
         return _SCALAR_NBYTES * len(obj)
     try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        return _pickled_size(obj)
     except Exception:  # pragma: no cover - unpicklable payloads are rare
         return _SCALAR_NBYTES
 

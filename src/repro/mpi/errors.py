@@ -20,6 +20,16 @@ class RawUsageError(RawMpiError):
     """An invalid argument or protocol violation by the caller."""
 
 
+class UnsupportedOnBackend(RawUsageError):
+    """A feature the selected execution backend does not provide.
+
+    The backend contract (DESIGN §12) requires features that cannot work on
+    a given transport to fail loudly with an actionable message — never to
+    silently fall back or misbehave.  The message always names the feature,
+    the backend, and the way out (usually ``backend='thread'``).
+    """
+
+
 class RawTruncationError(RawMpiError):
     """A receive buffer was too small for the matched message (``MPI_ERR_TRUNCATE``)."""
 

@@ -1,8 +1,13 @@
 """The parallel machine: rank threads, communicator registry, failure state.
 
-:func:`run_mpi` is the entry point of the raw runtime: it spawns one thread
-per rank, hands each a :class:`~repro.mpi.context.RawComm` for the world
-communicator, and collects results, virtual times, and PMPI-style call counts.
+:func:`run_mpi` is the entry point of the raw runtime: it resolves an
+execution backend (:mod:`repro.mpi.backends`; threads-as-ranks by default,
+one-OS-process-per-rank with ``backend="process"``), hands each rank a
+:class:`~repro.mpi.context.RawComm` for the world communicator, and collects
+results, virtual times, and PMPI-style call counts.  The :class:`Machine`
+defined here is the shared state of the *thread* backend; the process
+backend builds a rank-local replica satisfying the same duck-typed contract
+(see :mod:`repro.mpi.backends.process`).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Any, Callable, Hashable, Optional, Sequence
 
 from repro.mpi.costmodel import Clock, CostModel
 from repro.mpi.engine import CollectiveEngine
-from repro.mpi.errors import ProcessKilled, RawDeadlockError, RawUsageError
+from repro.mpi.errors import RawDeadlockError, RawUsageError
 from repro.mpi.p2p import Mailbox
 from repro.mpi.requests import ArrivalBarrier
 from repro.mpi.sanitizer import (
@@ -22,10 +27,7 @@ from repro.mpi.sanitizer import (
     LeakReport,
     NullAuditor,
     ResourceAuditor,
-    ResourceLeakError,
     ScheduleFuzzer,
-    env_fuzz_seed_default,
-    env_sanitize_default,
 )
 from repro.mpi.tracing import NULL_TRACER, NullTraceRecorder, TraceEvent, TraceRecorder
 from repro.mpi.waiting import Backoff
@@ -88,6 +90,8 @@ class RunResult:
     #: MPIsan finalize-time leak report (``None`` unless the run was
     #: sanitized; empty reports are falsy)
     leaks: Optional[LeakReport] = None
+    #: name of the execution backend that produced this result
+    backend: str = "thread"
 
     @property
     def max_time(self) -> float:
@@ -171,6 +175,18 @@ class Machine:
         self.faults = faults
         if faults is not None:
             faults.attach(self)
+
+    # -- backend feature contract ------------------------------------------
+
+    def require(self, feature: str, what: str) -> None:
+        """Assert a backend feature is available (no-op: threads have all).
+
+        The thread backend shares one address space across ranks, so RMA
+        windows, ULFM failure coordination, fault injection, MPIsan, and the
+        schedule fuzzer all work.  Other backends override this to raise
+        :class:`~repro.mpi.errors.UnsupportedOnBackend` with an actionable
+        message instead of silently misbehaving.
+        """
 
     # -- communicator registry -------------------------------------------
 
@@ -268,12 +284,24 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
             fuzz_seed: Optional[int] = None,
-            faults=None) -> RunResult:
+            faults=None,
+            backend: Optional[str | "Backend"] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
     (:class:`~repro.mpi.context.RawComm`).  Exceptions other than injected
     process failures are re-raised in the caller, annotated with the rank.
+
+    ``backend`` selects the execution backend (default: the ``REPRO_BACKEND``
+    environment variable, else ``"thread"``).  ``"thread"`` runs ranks as
+    threads of this process — the deterministic debug/fuzz/virtual-time
+    target.  ``"process"`` runs each rank in its own OS process connected by
+    per-pair duplex pipes, escaping the GIL for genuinely parallel execution;
+    payloads, ``fn``, ``args``, and return values must then be picklable, and
+    thread-backend-only features (MPIsan, fault injection, the schedule
+    fuzzer, RMA, ULFM) raise
+    :class:`~repro.mpi.errors.UnsupportedOnBackend`.  See
+    :mod:`repro.mpi.backends` and DESIGN §12.
 
     ``trace=True`` records a structured per-rank event trace (one event per
     raw MPI call) available as ``result.trace``; pass an existing
@@ -302,78 +330,10 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     random draws (seed default: ``REPRO_FAULT_SEED``); injected faults show
     up as ``fault:<kind>`` events on traced runs.
     """
-    from repro.mpi.context import RawComm
+    from repro.mpi.backends import resolve_backend
 
-    tracer: Optional[TraceRecorder]
-    if isinstance(trace, TraceRecorder):
-        tracer = trace
-    elif trace:
-        tracer = TraceRecorder(num_ranks)
-    else:
-        tracer = None
-
-    if sanitize is None:
-        sanitize = env_sanitize_default()
-    if fuzz_seed is None:
-        fuzz_seed = env_fuzz_seed_default()
-    auditor = ResourceAuditor() if sanitize else None
-    fuzzer = ScheduleFuzzer(fuzz_seed) if fuzz_seed is not None else None
-
-    machine = Machine(num_ranks, cost_model=cost_model, deadline=deadline,
-                      tracer=tracer, engine=engine, auditor=auditor,
-                      fuzzer=fuzzer, faults=faults)
-    values: list[Any] = [None] * num_ranks
-    errors: list[Optional[BaseException]] = [None] * num_ranks
-
-    def worker(world_rank: int) -> None:
-        if fuzzer is not None:
-            fuzzer.pause("spawn")
-        comm = RawComm(machine, machine.world, world_rank)
-        try:
-            values[world_rank] = fn(comm, *args)
-        except ProcessKilled:
-            machine.mark_failed(world_rank)
-        except BaseException as exc:  # noqa: BLE001 - report to the driver
-            errors[world_rank] = exc
-
-    threads = [
-        threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
-        for r in range(num_ranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=deadline + 30.0)
-        if t.is_alive():
-            raise RawDeadlockError(f"{t.name} did not terminate (deadlock?)")
-
-    # Prefer primary errors: a rank dying in a collective makes its peers hit
-    # the deadlock deadline, but the root cause is the original exception.
-    def _priority(item):
-        _, exc = item
-        return 1 if isinstance(exc, RawDeadlockError) else 0
-
-    raised = [(rank, exc) for rank, exc in enumerate(errors) if exc is not None]
-    for rank, exc in sorted(raised, key=_priority):
-        raise RuntimeError(f"rank {rank} raised {type(exc).__name__}: {exc}") from exc
-
-    leaks: Optional[LeakReport] = None
-    if machine.auditor.enabled:
-        leaks = machine.auditor.collect(machine)
-        if leaks and tracer is not None:
-            _emit_leak_events(tracer, leaks)
-        # failed ranks tear down mid-operation: report, but don't fail the run
-        if leaks and not machine.failed_snapshot():
-            raise ResourceLeakError(leaks)
-
-    return RunResult(
-        values=values,
-        times=[c.now for c in machine.clocks],
-        counts=machine.profile,
-        comm_seconds=[c.comm_seconds for c in machine.clocks],
-        compute_seconds=[c.compute_seconds for c in machine.clocks],
-        failed=machine.failed_snapshot(),
-        machine=machine,
-        trace=tracer,
-        leaks=leaks,
+    return resolve_backend(backend).run(
+        fn, num_ranks, args=args, cost_model=cost_model, deadline=deadline,
+        trace=trace, engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
+        faults=faults,
     )

@@ -1,0 +1,90 @@
+"""Differential conformance fixtures: run the same program on both backends.
+
+The ``backend`` fixture parametrizes a test over the execution backends; the
+process lane is marked ``slow`` (OS processes are ~100× more expensive to
+spawn than threads) and uses the reduced rank counts of :func:`ps_for`.  The
+``differential`` fixture is the heart of the suite: it runs the program on
+the lane's backend *and* on the thread backend as the reference, asserting
+the observable outcome — return values, virtual clocks, PMPI counters, and
+(when traced) the structured event streams — is bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_mpi
+
+#: rank counts for the thread lane (non-powers-of-2 included)
+THREAD_PS = (1, 2, 3, 4, 7)
+#: reduced rank counts for the (slower) process lane
+PROCESS_PS = (1, 2, 4)
+
+
+def ps_for(backend: str, *, minimum: int = 1) -> tuple[int, ...]:
+    """Rank counts a conformance test should exercise on ``backend``."""
+    ps = PROCESS_PS if backend == "process" else THREAD_PS
+    return tuple(p for p in ps if p >= minimum)
+
+
+def canon(obj):
+    """Canonical form for cross-process equality: keyed by dtype *and* bits.
+
+    numpy arrays/scalars do not compare bit-identically via ``==`` (dtype is
+    ignored, NaN never matches), so normalize them to ``(dtype, shape,
+    bytes)`` tuples; containers recurse.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.shape, obj.tobytes())
+    if isinstance(obj, np.generic):
+        return ("npscalar", str(obj.dtype), obj.tobytes())
+    if isinstance(obj, dict):
+        return {k: canon(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return tuple(canon(v) for v in obj)
+    return obj
+
+
+@pytest.fixture(params=[
+    "thread",
+    pytest.param("process", marks=pytest.mark.slow),
+])
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def differential(backend):
+    """Run on the lane's backend, diff against the thread reference.
+
+    Returns the lane's :class:`~repro.mpi.machine.RunResult`.  ``compare``
+    selects which observables must be bit-identical; wildcard-receiving
+    programs should drop ``"times"`` (match order is timing-dependent on
+    *both* backends) and make their return values order-insensitive.
+    """
+
+    def _run(fn, p, *, args=(), compare=("values", "times", "counts"),
+             deadline=60.0, **kwargs):
+        got = run_mpi(fn, p, args=args, backend=backend, deadline=deadline,
+                      **kwargs)
+        assert got.backend == backend
+        if backend != "thread":
+            ref = run_mpi(fn, p, args=args, backend="thread",
+                          deadline=deadline, **kwargs)
+            if "values" in compare:
+                assert canon(got.values) == canon(ref.values)
+            if "times" in compare:
+                assert got.times == ref.times
+                assert got.comm_seconds == ref.comm_seconds
+                assert got.compute_seconds == ref.compute_seconds
+            if "counts" in compare:
+                assert got.counts == ref.counts
+            if "trace" in compare:
+                for r in range(p):
+                    assert (got.trace.events_for(r)
+                            == ref.trace.events_for(r)), f"trace of rank {r}"
+                assert got.op_bytes() == ref.op_bytes()
+        return got
+
+    return _run

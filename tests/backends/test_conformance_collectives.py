@@ -1,0 +1,124 @@
+"""Collectives-matrix conformance: every collective, both backends.
+
+The same :class:`~repro.mpi.engine.CollectiveEngine` algorithms run over
+both transports, so reduction results, gathered payloads, virtual clocks,
+and PMPI counters must be bit-identical — including the non-blocking
+collectives' state machines and the pipe-replicated ibarrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import BAND, LAND, MAX, MIN, PROD, SUM
+from repro.mpi.requests import waitall
+from tests.backends.conftest import ps_for
+
+
+def _rooted_matrix(comm):
+    out = {}
+    p = comm.size
+    out["bcast"] = comm.bcast({"blob": [1, 2, 3]} if comm.rank == 0 else None)
+    out["gather"] = comm.gather((comm.rank, comm.rank * 2), root=p - 1)
+    counts = [2] * p
+    out["gatherv"] = comm.gatherv(
+        np.arange(2, dtype=np.int64) + 10 * comm.rank,
+        counts if comm.rank == 0 else None, root=0)
+    out["scatter"] = comm.scatter(
+        [f"part-{i}" for i in range(p)] if comm.rank == 0 else None)
+    out["scatterv"] = comm.scatterv(
+        np.arange(3 * p, dtype=np.float64) if comm.rank == 0 else None,
+        [3] * p if comm.rank == 0 else None, root=0)
+    out["reduce"] = comm.reduce(np.arange(4) + comm.rank, SUM, root=0)
+    return out
+
+
+def test_rooted_collectives(differential, backend):
+    for p in ps_for(backend):
+        differential(_rooted_matrix, p)
+
+
+def _symmetric_matrix(comm):
+    out = {}
+    p = comm.size
+    out["allgather"] = comm.allgather((comm.rank, "x"))
+    out["allgatherv"] = comm.allgatherv(
+        np.full(2, comm.rank, dtype=np.int32), [2] * p)
+    out["alltoall"] = comm.alltoall([(comm.rank, d) for d in range(p)])
+    out["alltoallv"] = comm.alltoallv(
+        np.arange(p, dtype=np.int64) * (comm.rank + 1), [1] * p, [1] * p)
+    out["alltoallw"] = comm.alltoallw(
+        [np.full(d % 2 + 1, comm.rank, dtype=np.int16) for d in range(p)])
+    out["barrier"] = comm.barrier()
+    return out
+
+
+def test_symmetric_collectives(differential, backend):
+    for p in ps_for(backend):
+        differential(_symmetric_matrix, p)
+
+
+def _reductions(comm):
+    out = {}
+    v = comm.rank + 1
+    arr = np.arange(5, dtype=np.float64) + comm.rank
+    for name, op in (("sum", SUM), ("prod", PROD), ("max", MAX),
+                     ("min", MIN), ("band", BAND), ("land", LAND)):
+        if name in ("band", "land"):
+            out[name] = comm.allreduce(v, op)
+        else:
+            out[name] = comm.allreduce(arr, op)
+    out["scan"] = comm.scan(v, SUM)
+    out["exscan"] = comm.exscan(v, SUM)
+    out["reduce_scalar"] = comm.reduce(v, PROD, root=0)
+    return out
+
+
+def test_reduction_ops(differential, backend):
+    for p in ps_for(backend):
+        differential(_reductions, p)
+
+
+def _nonblocking_collectives(comm):
+    out = {}
+    out["ibcast"] = comm.ibcast([7, comm.size] if comm.rank == 0 else None,
+                                0).wait()
+    out["iallreduce"] = comm.iallreduce(comm.rank + 1, SUM).wait()
+    out["iallgather"] = comm.iallgather(comm.rank * 3).wait()
+    reqs = [comm.ibarrier() for _ in range(3)]  # overlapping epochs
+    waitall(reqs)
+    out["post"] = comm.allreduce(1, SUM)
+    return out
+
+
+def test_nonblocking_collectives(differential, backend):
+    for p in ps_for(backend):
+        differential(_nonblocking_collectives, p)
+
+
+def _ibarrier_interleaved(comm):
+    # arrive, do p2p traffic while the barrier is outstanding, then complete
+    req = comm.ibarrier()
+    right = (comm.rank + 1) % comm.size
+    comm.send(comm.rank, right, tag=1)
+    payload, _ = comm.recv((comm.rank - 1) % comm.size, 1)
+    req.wait()
+    done, _ = req.test()
+    assert done
+    return payload
+
+
+def test_ibarrier_overlaps_p2p(differential, backend):
+    for p in ps_for(backend, minimum=2):
+        differential(_ibarrier_interleaved, p)
+
+
+@pytest.mark.slow
+def test_collectives_traced_identically(differential, backend):
+    # algorithm selection, per-event byte accounting, and virtual spans of
+    # the full symmetric matrix must agree event-for-event
+    for p in ps_for(backend, minimum=2)[:1]:
+        got = differential(_symmetric_matrix, p, trace=True,
+                           compare=("values", "times", "counts", "trace"))
+        assert got.algorithms_used()

@@ -1,0 +1,95 @@
+"""Communicator management conformance: split, dup, dist-graph topologies.
+
+Sub-communicator ids are derived deterministically on every rank, so the
+process backend creates each rank's local replica independently — these
+tests pin that the resulting groups, ranks, and collectives on the
+sub-communicators behave identically to the shared-machine thread backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi import SUM
+from tests.backends.conftest import ps_for
+
+
+def _split_parity(comm):
+    sub = comm.split(comm.rank % 2, key=comm.rank)
+    return (sub.rank, sub.size, sub.allgather(comm.rank),
+            int(sub.allreduce(comm.rank + 1, SUM)))
+
+
+def test_split_by_parity(differential, backend):
+    for p in ps_for(backend):
+        differential(_split_parity, p)
+
+
+def _split_undefined(comm):
+    # the last rank opts out (color=None == MPI_UNDEFINED)
+    color = None if comm.rank == comm.size - 1 else 0
+    sub = comm.split(color)
+    if sub is None:
+        return ("undefined", comm.rank)
+    return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+
+def test_split_color_none(differential, backend):
+    for p in ps_for(backend, minimum=2):
+        differential(_split_undefined, p)
+
+
+def _split_key_reversal(comm):
+    # reverse rank order within one color via the key argument
+    sub = comm.split(0, key=-comm.rank)
+    return (sub.rank, sub.allgather(comm.rank))
+
+
+def test_split_key_ordering(differential, backend):
+    for p in ps_for(backend):
+        differential(_split_key_reversal, p)
+
+
+def _dup_and_isolated_traffic(comm):
+    d = comm.dup()
+    # same tag on parent and dup: matching is per-communicator
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(("parent", comm.rank), right, tag=5)
+    d.send(("dup", comm.rank), right, tag=5)
+    on_dup, _ = d.recv(left, 5)
+    on_parent, _ = comm.recv(left, 5)
+    assert on_dup[0] == "dup" and on_parent[0] == "parent"
+    return (on_parent, on_dup, int(d.allreduce(1, SUM)))
+
+
+def test_dup_isolates_traffic(differential, backend):
+    for p in ps_for(backend, minimum=2):
+        differential(_dup_and_isolated_traffic, p)
+
+
+def _nested_split(comm):
+    sub = comm.split(comm.rank % 2, key=comm.rank)
+    subsub = sub.dup().split(0, key=sub.rank)
+    return (subsub.rank, subsub.size, subsub.allgather((comm.rank, sub.rank)))
+
+
+def test_nested_split_of_dup(differential, backend):
+    for p in ps_for(backend):
+        differential(_nested_split, p)
+
+
+def _ring_topology(comm):
+    p = comm.size
+    left = (comm.rank - 1) % p
+    right = (comm.rank + 1) % p
+    g = comm.dist_graph_create_adjacent(sources=[left], destinations=[right])
+    recvd = g.neighbor_alltoall([comm.rank * 10])
+    sent = np.full(3, comm.rank, dtype=np.int64)
+    recvd_v = g.neighbor_alltoallv(sent, [3], [3])
+    return (g.topology, recvd, recvd_v)
+
+
+def test_dist_graph_ring(differential, backend):
+    for p in ps_for(backend, minimum=2):
+        differential(_ring_topology, p)
