@@ -118,3 +118,63 @@ def test_selector_matches_best_fixed_algorithm(benchmark, op, p, width):
 
     if len(_CELLS) == len(OPS) * len(PS) * len(WIDTHS):
         _emit_summary()
+
+
+# -- deterministic op/byte baseline (regression gate) ------------------------
+#
+# Virtual times above depend on the cost model's constants; the *traffic* of
+# a fixed schedule does not — op and byte counts are exact simulator
+# invariants.  ``collect_counts`` sweeps every registered algorithm over a
+# reduced grid and the result is committed as ``BENCH_coll_algorithms.json``;
+# ``benchmarks/check_baseline.py`` recomputes it in CI and fails on >25%
+# regressions in either metric.
+
+COUNT_PS = (4, 8)
+COUNT_WIDTHS = (16, 1024)
+
+
+def collect_counts():
+    """Raw-op and sent-byte counts per ``(op, p, nbytes, algorithm)`` cell."""
+    cells = []
+    for op in OPS:
+        for p in COUNT_PS:
+            for width in COUNT_WIDTHS:
+                for algo in algorithms.algorithms(op):
+                    engine = CollectiveEngine(CM, overrides={op: algo.name},
+                                              env={})
+                    res = run_mpi(_workload(op, width), p, cost_model=CM,
+                                  engine=engine, trace=True, deadline=120.0)
+                    totals = res.op_bytes()
+                    cells.append({
+                        "op": op, "p": p, "nbytes": width * ITEM,
+                        "algorithm": algo.name,
+                        "raw_ops": int(sum(t["calls"]
+                                           for t in totals.values())),
+                        "sent_bytes": int(sum(t["sent"]
+                                              for t in totals.values())),
+                    })
+    return cells
+
+
+def main(argv=None):
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        description="write the deterministic op/byte baseline")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write BENCH_coll_algorithms.json to PATH")
+    ns = ap.parse_args(argv)
+    payload = {"bench": "coll_algorithms",
+               "metrics": ["raw_ops", "sent_bytes"],
+               "cells": collect_counts()}
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    if ns.write_baseline:
+        with open(ns.write_baseline, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(payload['cells'])} cells to {ns.write_baseline}")
+    else:
+        print(text, end="")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Communication-plan IR: optimized replays move strictly less traffic.
+
+Records sample sort and BFS epochs at p ∈ {4, 8}, runs the rewrite
+pipeline, and replays the optimized graph — asserting the IR's acceptance
+bar: bit-identical program values with *strictly fewer* raw operations and
+wire bytes than the recorded epoch.  Virtual makespans of the baseline run
+and the optimized replay ride along in the report (the rewrites target op
+and byte counts; time follows from the α-β model).
+
+Emits one machine-readable ``BENCH {...}`` JSON line with the full table.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.ir_demo import bfs_epoch, sample_sort_epoch
+from repro.mpi import run_mpi
+from repro.mpi.engine import CollectiveEngine
+
+from benchmarks.conftest import report
+
+CASES = (("sample_sort", sample_sort_epoch), ("bfs", bfs_epoch))
+PS = (4, 8)
+
+_ROWS: list[dict] = []
+
+
+def _emit_summary():
+    print("BENCH " + json.dumps({"bench": "ir", "rows": _ROWS}))
+    lines = ["app          p   raw ops (rec -> opt)   bytes (rec -> opt)"
+             "   passes fired"]
+    for row in _ROWS:
+        ops, nb = row["raw_ops"], row["bytes"]
+        fired = ",".join(sorted(row["passes"]))
+        lines.append(
+            f"{row['app']:<12} {row['p']:<3} "
+            f"{ops['recorded']:>8} -> {ops['optimized']:<8} "
+            f"{nb['recorded']:>9} -> {nb['optimized']:<9} {fired}"
+        )
+    lines.append("")
+    lines.append("(every cell: values bit-identical to the unoptimized run; "
+                 "op and byte counts strictly lower)")
+    report("communication-plan IR — optimized replay traffic", "\n".join(lines))
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("name,app", CASES, ids=[n for n, _ in CASES])
+def test_ir_optimize_strictly_reduces_traffic(benchmark, name, app, p):
+    base = run_mpi(app, p, engine=CollectiveEngine(env={}), trace=True)
+
+    def optimized_run():
+        return run_mpi(app, p, ir="optimize", engine=CollectiveEngine(env={}),
+                       trace=True)
+
+    res = benchmark.pedantic(optimized_run, rounds=1, iterations=1)
+    assert res.values == base.values
+
+    recorded, optimized = res.ir.epoch, res.ir.optimized
+    assert optimized.total_raw_ops() < recorded.total_raw_ops()
+    assert optimized.total_bytes() < recorded.total_bytes()
+
+    row = {
+        "app": name, "p": p,
+        "raw_ops": {"recorded": recorded.total_raw_ops(),
+                    "optimized": optimized.total_raw_ops()},
+        "bytes": {"recorded": recorded.total_bytes(),
+                  "optimized": optimized.total_bytes()},
+        "passes": {k: v for k, v in res.ir.pass_rewrites().items() if v},
+        "makespan": {"baseline": base.max_time,
+                     "replay": res.ir.replay.max_time},
+    }
+    benchmark.extra_info.update(row)
+    _ROWS.append(row)
+    if len(_ROWS) == len(CASES) * len(PS):
+        _emit_summary()

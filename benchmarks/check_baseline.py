@@ -1,0 +1,68 @@
+"""Benchmark baseline gate: traffic must not silently regress.
+
+Recomputes the deterministic op/byte sweep of every registered collective
+algorithm (``bench_coll_algorithms.collect_counts``) and compares it against
+the committed ``BENCH_coll_algorithms.json``.  A cell whose raw-op count or
+sent-byte total exceeds the committed value by more than 25% fails the gate;
+a committed cell that no longer exists (an algorithm was dropped or renamed
+without refreshing the baseline) fails too.  Improvements and new cells are
+reported but never fail — refresh the baseline to lock them in:
+
+    PYTHONPATH=src python -m benchmarks.bench_coll_algorithms \\
+        --write-baseline BENCH_coll_algorithms.json
+
+Exit status: 0 clean, 1 regression.  Run from the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from benchmarks.bench_coll_algorithms import collect_counts
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_coll_algorithms.json"
+TOLERANCE = 1.25  # >25% worse on either metric is a regression
+METRICS = ("raw_ops", "sent_bytes")
+
+
+def _key(cell: dict) -> tuple:
+    return (cell["op"], cell["p"], cell["nbytes"], cell["algorithm"])
+
+
+def main() -> int:
+    committed = {_key(c): c
+                 for c in json.loads(BASELINE.read_text())["cells"]}
+    current = {_key(c): c for c in collect_counts()}
+
+    failures: list[str] = []
+    notes: list[str] = []
+    for key, old in sorted(committed.items()):
+        new = current.get(key)
+        if new is None:
+            failures.append(f"{key}: cell vanished from the sweep "
+                            f"(baseline not refreshed?)")
+            continue
+        for metric in METRICS:
+            if new[metric] > old[metric] * TOLERANCE:
+                failures.append(
+                    f"{key}: {metric} regressed {old[metric]} -> "
+                    f"{new[metric]} (> {TOLERANCE:.2f}x)")
+            elif new[metric] < old[metric]:
+                notes.append(f"{key}: {metric} improved {old[metric]} -> "
+                             f"{new[metric]}")
+    for key in sorted(set(current) - set(committed)):
+        notes.append(f"{key}: new cell (not in baseline)")
+
+    for line in notes:
+        print(f"note: {line}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    print(f"checked {len(committed)} committed cells against "
+          f"{len(current)} current: {len(failures)} regression(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Demo epochs for the communication-plan IR (tests, benchmarks, examples).
+
+Two realistic programs shaped the way real SPMD codes are — a configuration
+phase of scalar broadcasts, a bulk exchange with inferred counts, and a
+checksum that is reduced and rebroadcast — so that every major rewrite class
+has something to do:
+
+- the config bcasts batch into one (``batch_bcasts``),
+- the wrapped ``alltoallv``'s count exchange fuses away
+  (``fuse_count_exchange``),
+- the reduce + bcast checksum fuses into ``allreduce[reduce_bcast]``
+  (``fuse_reduce_bcast``).
+
+Both entry functions take the *raw* communicator (importable module-level
+functions, so they replay on the process backend too) and return plain
+picklable values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.graphs import bfs, generate_gnm
+from repro.apps.graphs.bfs import UNDEFINED
+from repro.apps.graphs.generators import symmetrize
+from repro.apps.sorting.sample_sort import sample_sort_kamping
+from repro.core import Communicator
+from repro.mpi.context import RawComm
+from repro.mpi.ops import SUM
+
+
+def sample_sort_epoch(raw: RawComm, seed: int = 100, size: int = 64):
+    """Sample sort with a broadcast config phase and a reduced checksum.
+
+    Returns ``(sorted_block_as_list, checksum)`` on every rank.
+    """
+    comm = Communicator(raw)
+    # config phase: two scalar parameters broadcast back-to-back
+    seed = raw.bcast(seed if comm.rank == 0 else None, 0)
+    size = raw.bcast(size if comm.rank == 0 else None, 0)
+    rng = np.random.default_rng(seed + comm.rank)
+    data = rng.integers(0, 10_000, size=size).astype(np.int64)
+    block = sample_sort_kamping(comm, data)
+    # global checksum, reduced to rank 0 and rebroadcast to everyone
+    checksum = raw.reduce(int(block.sum()), SUM, 0)
+    checksum = raw.bcast(checksum, 0)
+    return block.tolist(), checksum
+
+
+def bfs_epoch(raw: RawComm, n: int = 16, m: int = 48, seed: int = 3):
+    """Level-synchronous BFS with broadcast parameters and a reached count.
+
+    Returns ``(distances_as_list, reached)`` on every rank.
+    """
+    comm = Communicator(raw)
+    source = raw.bcast(0 if comm.rank == 0 else None, 0)
+    seed = raw.bcast(seed if comm.rank == 0 else None, 0)
+    g = symmetrize(comm, generate_gnm(n, m, comm.size, comm.rank, seed=seed))
+    dist = bfs(g, source, comm, strategy="kamping")
+    reached = raw.reduce(int((dist != UNDEFINED).sum()), SUM, 0)
+    reached = raw.bcast(reached, 0)
+    return dist.tolist(), reached

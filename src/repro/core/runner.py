@@ -21,7 +21,9 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         sanitize: Optional[bool] = None,
         fuzz_seed: Optional[int] = None,
         faults=None,
-        backend=None) -> RunResult:
+        backend=None,
+        ir: Optional[str] = None,
+        ir_passes: Optional[Sequence[str]] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
@@ -36,7 +38,12 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     ``REPRO_FUZZ_SEED`` environment variables; ``faults`` injects a
     :class:`~repro.mpi.faultinject.FaultCampaign`; ``backend`` selects the
     execution backend (``"thread"``/``"process"``, default: the
-    ``REPRO_BACKEND`` environment variable — see :mod:`repro.mpi.backends`).
+    ``REPRO_BACKEND`` environment variable — see :mod:`repro.mpi.backends`);
+    ``ir`` activates the communication-plan IR (``"record"``/``"optimize"``,
+    default: the ``REPRO_IR`` environment variable — see
+    :mod:`repro.mpi.ir`), with ``ir_passes`` restricting the rewrite
+    pipeline.  Recording wraps the raw handle beneath the named-parameter
+    layer, so wrapped calls journal exactly the raw ops they issue.
     """
 
     def entry(raw, *fn_args):
@@ -45,4 +52,4 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
                    deadline=deadline, trace=trace, engine=engine,
                    sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults,
-                   backend=backend)
+                   backend=backend, ir=ir, ir_passes=ir_passes)

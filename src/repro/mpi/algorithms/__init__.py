@@ -58,6 +58,15 @@ class Algorithm:
             )
         return self.cost(p, nbytes, cost_model)
 
+    def fragment(self, p: int, rank: int, root: int = 0):
+        """This algorithm's schedule as a static IR fragment — the per-rank
+        tuple of :class:`~repro.mpi.ir.nodes.P2P` events it would issue at
+        ``(p, rank, root)``.  Raises :class:`KeyError` when the schedule is
+        not pattern-static (see :mod:`repro.mpi.ir.fragments`)."""
+        from repro.mpi.ir.fragments import fragment
+
+        return fragment(self.collective, self.name, p, rank, root)
+
 
 _REGISTRY: dict[str, dict[str, Algorithm]] = {}
 _DEFAULTS: dict[str, str] = {}

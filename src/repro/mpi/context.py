@@ -59,6 +59,9 @@ class RawComm:
         #: rank-local scoped tuning rules (``Communicator.use_algorithms``);
         #: rank-local so installing/removing them can never race other ranks
         self._coll_tuning: dict[str, tuple] = {}
+        #: IR-pass provenance stamped on trace spans (set by the IR replayer
+        #: around ops that a rewrite pass produced; ``None`` everywhere else)
+        self._ir_pass: Optional[str] = None
 
     # -- introspection -----------------------------------------------------
 
@@ -107,7 +110,7 @@ class RawComm:
         if payload is not None:
             sent = _sum_payload_bytes(payload)
         return tracer.span(self, op, peers=peers, tag=tag, sent=sent,
-                           algorithm=algorithm)
+                           algorithm=algorithm, ir_pass=self._ir_pass)
 
     def _coll_algo(self, op: str, payload: Any = None, hint=None) -> Algorithm:
         """Resolve which algorithm runs one collective call.
@@ -280,6 +283,29 @@ class RawComm:
             pr.origin = auditor.origin()
             auditor.track_request(req, self, op="irecv", peer=source, tag=tag)
         return req
+
+    def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE, *,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> tuple[Any, Status]:
+        """Combined send and receive (``MPI_Sendrecv``).
+
+        One raw call instead of a send/recv pair: the canonical shift
+        primitive of ring schedules, and what the IR's ring-recognition pass
+        rewrites aligned send/recv pairs into.  The send is standard-mode
+        (buffered), so pairing it with the receive can never deadlock.
+        """
+        self._count("sendrecv")
+        self._check_usable()
+        if source not in (ANY_SOURCE, PROC_NULL):
+            self._check_peer(source)
+        with self._span("sendrecv", peers=_peer(dest) + _peer(source),
+                        tag=sendtag, payload=payload) as sp:
+            if dest != PROC_NULL:
+                self._send(payload, dest, validate_user_tag(sendtag))
+            if source == PROC_NULL:
+                return None, Status(PROC_NULL, recvtag, 0)
+            out, status = self._recv(source, validate_user_tag(recvtag))
+            sp.set(peers=_peer(dest) + (status.source,), recvd=status.nbytes)
+        return out, status
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait for a matching message without receiving it."""

@@ -170,6 +170,17 @@ class CollectiveEngine:
             self.fault_hook(op, algo.name)
         return algo
 
+    def peek(self, op: str, *, p: int, nbytes: int = 0,
+             comm_id: Hashable = None,
+             scoped: Optional[Sequence[TuningRule]] = None) -> Algorithm:
+        """Answer "what would :meth:`resolve` pick?" without side effects.
+
+        Observation-only: no ``fault_hook`` firing, so fault campaigns
+        counting mid-collective rounds never see phantom resolutions.  Used
+        by the communication-plan IR to reason about recorded schedules."""
+        return self._resolve(op, p=p, nbytes=nbytes, comm_id=comm_id,
+                             scoped=scoped)
+
     def _resolve(self, op: str, *, p: int, nbytes: int,
                  comm_id: Hashable,
                  scoped: Optional[Sequence[TuningRule]]) -> Algorithm:

@@ -1,0 +1,153 @@
+"""Registered collective schedules exposed as static IR fragments.
+
+A *fragment* is the per-rank point-to-point schedule a registered algorithm
+would execute — a tuple of :class:`~repro.mpi.ir.nodes.P2P` events in issue
+order, derived purely from ``(p, rank, root)`` exactly like the algorithms
+themselves derive their schedules (pattern determinism is the registry's
+contract).  This gives the rewrite passes and the tests a ground truth to
+reason against: ``fuse_reduce_bcast`` is sound *because*
+``fragment("allreduce", "reduce_bcast", ...)`` is by construction the
+concatenation of the reduce and bcast fragments, and the fragment tests pin
+that identity here rather than re-deriving it in every pass.
+
+Access via :meth:`repro.mpi.algorithms.Algorithm.fragment` or
+:func:`fragment` directly.  Only pattern-static algorithms are mapped;
+payload-dependent schedules (e.g. ``allreduce/ring``'s array-eligibility
+branch) raise :class:`KeyError` — callers treat that as "opaque".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ir.nodes import P2P
+
+#: fragment builder signature: ``(p, rank, root) -> tuple[P2P, ...]``
+FragmentFn = Callable[[int, int, int], Tuple[P2P, ...]]
+
+
+def _send(rank: int, peer: int) -> P2P:
+    return P2P("send", rank, peer, None, 0)
+
+
+def _recv(rank: int, peer: int) -> P2P:
+    return P2P("recv", rank, peer, None, 0)
+
+
+def bcast_binomial_fragment(p: int, rank: int, root: int = 0) -> Tuple[P2P, ...]:
+    if p == 1:
+        return ()
+    events = []
+    vr = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            events.append(_recv(rank, (vr - mask + root) % p))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = vr + mask
+        if child < p:
+            events.append(_send(rank, (child + root) % p))
+        mask >>= 1
+    return tuple(events)
+
+
+def bcast_linear_fragment(p: int, rank: int, root: int = 0) -> Tuple[P2P, ...]:
+    if p == 1:
+        return ()
+    if rank == root:
+        return tuple(_send(rank, dst) for dst in range(p) if dst != root)
+    return (_recv(rank, root),)
+
+
+def reduce_binomial_fragment(p: int, rank: int, root: int = 0
+                             ) -> Tuple[P2P, ...]:
+    events = []
+    vr = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if vr & mask == 0:
+            src_vr = vr | mask
+            if src_vr < p:
+                events.append(_recv(rank, (src_vr + root) % p))
+        else:
+            events.append(_send(rank, ((vr & ~mask) + root) % p))
+            return tuple(events)
+        mask <<= 1
+    return tuple(events)
+
+
+def reduce_linear_fragment(p: int, rank: int, root: int = 0
+                           ) -> Tuple[P2P, ...]:
+    if rank != root:
+        return (_send(rank, root),)
+    return tuple(_recv(rank, src) for src in range(p) if src != root)
+
+
+def allreduce_reduce_bcast_fragment(p: int, rank: int, root: int = 0
+                                    ) -> Tuple[P2P, ...]:
+    # By construction the exact composition the fusion pass relies on.
+    return (reduce_binomial_fragment(p, rank, 0)
+            + bcast_binomial_fragment(p, rank, 0))
+
+
+def allreduce_recursive_doubling_fragment(p: int, rank: int, root: int = 0
+                                          ) -> Tuple[P2P, ...]:
+    if p == 1:
+        return ()
+    events = []
+    p2 = 1 << (p.bit_length() - 1)
+    rem = p - p2
+    new_rank = -1
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            events.append(_send(rank, rank - 1))
+        else:
+            events.append(_recv(rank, rank + 1))
+            new_rank = rank // 2
+    else:
+        new_rank = rank - rem
+    if new_rank >= 0:
+        mask = 1
+        while mask < p2:
+            partner_new = new_rank ^ mask
+            partner = partner_new * 2 if partner_new < rem else partner_new + rem
+            events.append(_send(rank, partner))
+            events.append(_recv(rank, partner))
+            mask <<= 1
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            events.append(_send(rank, rank + 1))
+        else:
+            events.append(_recv(rank, rank - 1))
+    return tuple(events)
+
+
+FRAGMENTS: Dict[Tuple[str, str], FragmentFn] = {
+    ("bcast", "binomial"): bcast_binomial_fragment,
+    ("bcast", "linear"): bcast_linear_fragment,
+    ("reduce", "binomial"): reduce_binomial_fragment,
+    ("reduce", "linear"): reduce_linear_fragment,
+    ("allreduce", "reduce_bcast"): allreduce_reduce_bcast_fragment,
+    ("allreduce", "recursive_doubling"): allreduce_recursive_doubling_fragment,
+}
+
+
+def fragment(collective: str, name: str, p: int, rank: int,
+             root: int = 0) -> Tuple[P2P, ...]:
+    """The static P2P schedule of ``collective/name`` on one rank.
+
+    Raises :class:`KeyError` for algorithms whose schedule is not
+    pattern-static (or simply not mapped yet)."""
+    if not 0 <= rank < p:
+        raise RawUsageError(f"rank {rank} out of range for p={p}")
+    if not 0 <= root < p:
+        raise RawUsageError(f"root {root} out of range for p={p}")
+    return FRAGMENTS[(collective, name)](p, rank, root)
+
+
+def has_fragment(collective: str, name: str) -> bool:
+    return (collective, name) in FRAGMENTS

@@ -1,0 +1,646 @@
+"""Rewrite passes over recorded epochs.
+
+A pass is a function ``(Epoch) -> PassResult`` that rewrites the epoch in
+place.  Every pass obeys three invariants the replay tests enforce:
+
+1. **Value preservation** — replaying the rewritten graph produces values
+   bit-identical (:func:`repro.mpi.ir.nodes.values_equal`) to the recorded
+   run.  Rewrites fire only when this is *provable from the recording*: the
+   fusion pass, for example, requires the recorded reduce and bcast to have
+   run the binomial schedules from root 0, because
+   ``allreduce[reduce_bcast]`` is by construction that exact composition —
+   same combine order, same message schedule, so even float rounding is
+   identical.
+2. **SPMD consistency** — a rewrite touches a collective instance on *all*
+   member ranks or none of them, keyed by the ``(comm, seq)`` alignment.
+3. **No regressions** — every rewrite strictly reduces raw op count and
+   never increases payload bytes (scalar payloads are packed as scalar
+   lists, which the byte model sizes identically to the separate messages).
+
+Provenance: every node a pass creates carries ``ir_pass=<pass name>``, which
+the replayer stamps onto the trace spans so Chrome traces show which op came
+from which rewrite.
+
+Pass order matters and the default order is deliberate: collective fusions
+first (they need the raw recorded shapes), then message coalescing, then
+ring recognition, then wait reordering (pure scheduling, never changes
+shapes).  Select or disable passes per run with ``run_mpi(..., ir_passes=
+[...])``, ``REPRO_IR_PASSES=<exact comma list>``, or
+``REPRO_IR_DISABLE=<comma list>``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ir.nodes import CommOp, Epoch, canonical, values_equal
+from repro.mpi.p2p import Status
+
+ENV_PASSES = "REPRO_IR_PASSES"
+ENV_DISABLE = "REPRO_IR_DISABLE"
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass: how many rewrites fired, and where."""
+
+    name: str
+    rewrites: int = 0
+    details: List[str] = field(default_factory=list)
+
+    def note(self, detail: str) -> None:
+        self.rewrites += 1
+        self.details.append(detail)
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _is_scalar(x) -> bool:
+    return isinstance(x, (bool, int, float, np.integer, np.floating))
+
+
+def _only_local_between(nodes: Sequence[CommOp], i: int, j: int) -> bool:
+    """True when every node strictly between positions ``i`` and ``j`` is
+    local compute (safe to treat the endpoints as adjacent)."""
+    lo, hi = (i, j) if i < j else (j, i)
+    return all(n.kind == "local" for n in nodes[lo + 1:hi])
+
+
+def _dependents(nodes: Sequence[CommOp], idx: int) -> List[CommOp]:
+    return [n for n in nodes if idx in n.deps]
+
+
+def _remap_deps(nodes: Sequence[CommOp], mapping: Dict[int, int]) -> None:
+    for n in nodes:
+        if any(d in mapping for d in n.deps):
+            n.deps = tuple(sorted({mapping.get(d, d) for d in n.deps}))
+
+
+def _full_instance(epoch: Epoch, comm: Hashable,
+                   inst: Dict[int, Tuple[int, CommOp]]) -> bool:
+    """Instance observed on every member rank of its communicator."""
+    members = epoch.members.get(comm)
+    return members is not None and set(inst) == set(members)
+
+
+def _comm_seqs(epoch: Epoch, instances, comm: Hashable) -> List[int]:
+    return sorted(s for (c, s) in instances if c == comm)
+
+
+# -- pass: fuse reduce(root=0) + bcast(root=0) -> allreduce[reduce_bcast] ----
+
+
+def fuse_reduce_bcast(epoch: Epoch) -> PassResult:
+    """Fuse a reduce-to-0 immediately rebroadcast from 0 into one allreduce.
+
+    Fires only when (a) both recorded collectives ran the binomial schedule
+    from root 0 — the exact composition ``allreduce[reduce_bcast]`` replays,
+    so the combine order (and therefore float bit patterns) is unchanged —
+    (b) the bcast's payload at the root is bit-identical to the reduce's
+    result there (the program really did rebroadcast the reduction), and
+    (c) nothing else consumed the intermediate reduce result.
+    """
+    result = PassResult("fuse_reduce_bcast")
+    rewrote = True
+    while rewrote:  # positions go stale after a rewrite: rescan
+        rewrote = False
+        instances = epoch.instances()
+        for comm in list(epoch.members):
+            if rewrote:
+                break
+            for s in _comm_seqs(epoch, instances, comm):
+                a = instances.get((comm, s))
+                b = instances.get((comm, s + 1))
+                if a is None or b is None:
+                    continue
+                if not (_full_instance(epoch, comm, a)
+                        and _full_instance(epoch, comm, b)):
+                    continue
+                a_nodes = [n for _, n in a.values()]
+                b_nodes = [n for _, n in b.values()]
+                if not all(n.op == "reduce" and n.args.get("root") == 0
+                           and n.args.get("algorithm") == "binomial"
+                           and n.ir_pass is None for n in a_nodes):
+                    continue
+                if not all(n.op == "bcast" and n.args.get("root") == 0
+                           and n.args.get("algorithm") == "binomial"
+                           and n.ir_pass is None for n in b_nodes):
+                    continue
+                red_ops = {getattr(n.args.get("op"), "name", None)
+                           for n in a_nodes}
+                if len(red_ops) != 1 or None in red_ops:
+                    continue
+                # adjacency and single-use of the intermediate, on every rank
+                ok = True
+                root_world = epoch.members[comm][0]
+                for w, (pos_a, node_a) in a.items():
+                    pos_b, node_b = b[w]
+                    nodes = epoch.ops[w]
+                    if (pos_b <= pos_a
+                            or not _only_local_between(nodes, pos_a, pos_b)):
+                        ok = False
+                        break
+                    if any(n is not node_b
+                           for n in _dependents(nodes, node_a.idx)):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                # the rebroadcast value must be the reduction's result
+                _, root_reduce = a[root_world]
+                _, root_bcast = b[root_world]
+                if not values_equal(root_reduce.result, root_bcast.payload):
+                    continue
+                for w, (pos_a, node_a) in a.items():
+                    pos_b, node_b = b[w]
+                    nodes = epoch.ops[w]
+                    fused = CommOp(
+                        idx=epoch.alloc_idx(w),
+                        rank=node_a.rank,
+                        kind="coll",
+                        op="allreduce",
+                        comm=comm,
+                        seq=node_a.seq,
+                        args={"op": node_a.args["op"],
+                              "algorithm": "reduce_bcast"},
+                        payload=node_a.payload,
+                        result=node_b.result,
+                        deps=node_a.deps,
+                        ir_pass="fuse_reduce_bcast",
+                    )
+                    nodes[pos_a] = fused
+                    del nodes[pos_b]
+                    _remap_deps(nodes, {node_a.idx: fused.idx,
+                                        node_b.idx: fused.idx})
+                result.note(f"comm={comm!r} seq={s}: reduce+bcast -> "
+                            f"allreduce[reduce_bcast]")
+                rewrote = True
+                break
+    return result
+
+
+# -- pass: batch consecutive same-root bcasts into one list bcast ------------
+
+
+def batch_bcasts(epoch: Epoch) -> PassResult:
+    """Merge a run of k >= 2 consecutive same-root scalar bcasts into one
+    bcast of a k-element scalar list (byte-neutral: the size model charges a
+    scalar list exactly the sum of its elements; k trees become one)."""
+    result = PassResult("batch_bcasts")
+    instances = epoch.instances()
+    for comm in list(epoch.members):
+        seqs = _comm_seqs(epoch, instances, comm)
+        i = 0
+        while i < len(seqs):
+            run = [seqs[i]]
+            while (i + len(run) < len(seqs)
+                   and seqs[i + len(run)] == run[-1] + 1
+                   and _batchable_bcast(epoch, instances, comm, run[-1] + 1)
+                   and _batchable_bcast(epoch, instances, comm, run[0])
+                   and _same_bcast_shape(epoch, instances, comm,
+                                         run[0], run[-1] + 1)):
+                run.append(run[-1] + 1)
+            if len(run) >= 2 and _contiguous_run(epoch, instances, comm, run):
+                _rewrite_bcast_run(epoch, instances, comm, run)
+                result.note(f"comm={comm!r} seqs={run[0]}..{run[-1]}: "
+                            f"{len(run)} bcasts -> 1 batched bcast")
+                instances = epoch.instances()
+                seqs = _comm_seqs(epoch, instances, comm)
+                i = 0
+                continue
+            i += 1
+    return result
+
+
+def _batchable_bcast(epoch, instances, comm, seq) -> bool:
+    inst = instances.get((comm, seq))
+    if inst is None or not _full_instance(epoch, comm, inst):
+        return False
+    return all(n.op == "bcast" and n.ir_pass is None and _is_scalar(n.result)
+               and n.args.get("algorithm") == "binomial"
+               for _, n in inst.values())
+
+
+def _same_bcast_shape(epoch, instances, comm, s0, s1) -> bool:
+    a = instances.get((comm, s0))
+    b = instances.get((comm, s1))
+    if a is None or b is None:
+        return False
+    roots_a = {n.args.get("root") for _, n in a.values()}
+    roots_b = {n.args.get("root") for _, n in b.values()}
+    return roots_a == roots_b and len(roots_a) == 1
+
+
+def _contiguous_run(epoch, instances, comm, run) -> bool:
+    for w in epoch.members[comm]:
+        positions = [instances[(comm, s)][w][0] for s in run]
+        if positions != sorted(positions):
+            return False
+        nodes = epoch.ops[w]
+        for p, q in zip(positions, positions[1:]):
+            if not _only_local_between(nodes, p, q):
+                return False
+    return True
+
+
+def _rewrite_bcast_run(epoch, instances, comm, run) -> None:
+    for w in epoch.members[comm]:
+        entries = [instances[(comm, s)][w] for s in run]
+        positions = [pos for pos, _ in entries]
+        nodes_run = [n for _, n in entries]
+        first = nodes_run[0]
+        root = first.args["root"]
+        nodes = epoch.ops[w]
+        is_root = first.rank == root
+        batched = CommOp(
+            idx=epoch.alloc_idx(w),
+            rank=first.rank,
+            kind="coll",
+            op="bcast",
+            comm=comm,
+            seq=first.seq,
+            args={"root": root, "algorithm": "binomial",
+                  "batched": len(run)},
+            payload=[n.payload for n in nodes_run] if is_root else None,
+            result=[n.result for n in nodes_run],
+            deps=tuple(sorted({d for n in nodes_run for d in n.deps})),
+            ir_pass="batch_bcasts",
+        )
+        nodes[positions[0]] = batched
+        for pos in reversed(positions[1:]):
+            del nodes[pos]
+        _remap_deps(nodes, {n.idx: batched.idx for n in nodes_run})
+
+
+# -- pass: fuse the alltoall count exchange into its alltoallv ---------------
+
+
+def fuse_count_exchange(epoch: Epoch) -> PassResult:
+    """Collapse ``rcounts = alltoall(scounts); alltoallv(buf, scounts,
+    rcounts)`` into a single alltoall of array blocks.
+
+    This is the boilerplate the wrapped layer's count inference generates
+    (and raw-style code writes by hand): a p-scalar alltoall whose only
+    purpose is to size the immediately following alltoallv.  Sending the
+    blocks as objects needs no recv counts at all, so the count exchange —
+    8·p bytes and one collective per rank — disappears entirely; this is the
+    strict byte reduction ``bench_ir`` measures on sample sort and BFS.
+    """
+    result = PassResult("fuse_count_exchange")
+    rewrote = True
+    while rewrote:
+        rewrote = False
+        instances = epoch.instances()
+        for comm in list(epoch.members):
+            p = len(epoch.members[comm])
+            for s in _comm_seqs(epoch, instances, comm):
+                a = instances.get((comm, s))
+                b = instances.get((comm, s + 1))
+                if a is None or b is None:
+                    continue
+                if not (_full_instance(epoch, comm, a)
+                        and _full_instance(epoch, comm, b)):
+                    continue
+                if not all(n.op == "alltoall" and n.ir_pass is None
+                           for _, n in a.values()):
+                    continue
+                if not all(n.op == "alltoallv" and n.ir_pass is None
+                           for _, n in b.values()):
+                    continue
+                ok = True
+                for w, (pos_a, node_a) in a.items():
+                    pos_b, node_b = b[w]
+                    nodes = epoch.ops[w]
+                    counts = node_a.payload
+                    if not (isinstance(counts, (list, tuple))
+                            and len(counts) == p
+                            and all(_is_scalar(c) for c in counts)):
+                        ok = False
+                        break
+                    if canonical(counts) != canonical(
+                            node_b.args.get("sendcounts")):
+                        ok = False
+                        break
+                    if canonical(node_a.result) != canonical(
+                            node_b.args.get("recvcounts")):
+                        ok = False
+                        break
+                    if pos_b <= pos_a or not _only_local_between(
+                            nodes, pos_a, pos_b):
+                        ok = False
+                        break
+                    if any(n is not node_b
+                           for n in _dependents(nodes, node_a.idx)):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for w, (pos_a, node_a) in a.items():
+                    pos_b, node_b = b[w]
+                    nodes = epoch.ops[w]
+                    sendbuf = np.asarray(node_b.payload)
+                    scounts = [int(c) for c in node_a.payload]
+                    splits = np.split(sendbuf, np.cumsum(scounts)[:-1])
+                    fused = CommOp(
+                        idx=epoch.alloc_idx(w),
+                        rank=node_a.rank,
+                        kind="coll",
+                        op="alltoall",
+                        comm=comm,
+                        seq=node_a.seq,
+                        args={"algorithm": node_a.args.get("algorithm"),
+                              "post": "concat"},
+                        payload=[np.ascontiguousarray(blk) for blk in splits],
+                        result=node_b.result,
+                        deps=tuple(sorted(set(node_a.deps) | set(node_b.deps))),
+                        ir_pass="fuse_count_exchange",
+                    )
+                    nodes[pos_a] = fused
+                    del nodes[pos_b]
+                    _remap_deps(nodes, {node_a.idx: fused.idx,
+                                        node_b.idx: fused.idx})
+                result.note(f"comm={comm!r} seq={s}: count exchange folded "
+                            f"into alltoall of blocks (saves {8 * p}B/rank)")
+                rewrote = True
+                break
+            if rewrote:
+                break
+    return result
+
+
+# -- pass: coalesce runs of small same-peer same-tag sends -------------------
+
+
+def coalesce_sends(epoch: Epoch) -> PassResult:
+    """Pack k >= 2 consecutive scalar sends on one (source, dest, tag)
+    channel — and the receiver's matching k consecutive recvs — into a single
+    packed message (a scalar list: byte-neutral, 2k ops become 2).
+
+    Fires only when the run is the channel's *entire* traffic in the epoch,
+    so FIFO pairing between the packed send and the packed recv is exact by
+    construction.
+    """
+    result = PassResult("coalesce_sends")
+    while _coalesce_one_channel(epoch, result):
+        pass  # positions go stale after each rewrite: rescan
+    return result
+
+
+def _coalesce_one_channel(epoch: Epoch, result: PassResult) -> bool:
+    for comm, members in list(epoch.members.items()):
+        channels: Dict[Tuple[int, int, Optional[int]], Dict[str, list]] = {}
+        for local, w in enumerate(members):
+            for pos, n in enumerate(epoch.ops[w]):
+                if n.comm != comm or n.ir_pass is not None or n.kind != "p2p":
+                    continue
+                if n.op == "send" and _is_scalar(n.payload):
+                    key = (local, n.args["dest"], n.args["tag"])
+                    channels.setdefault(key, {"send": [], "recv": []})[
+                        "send"].append((w, pos, n))
+                elif n.op == "recv":
+                    src = n.args.get("source")
+                    tag = n.args.get("tag")
+                    if src is None or src < 0 or tag is None or tag < 0:
+                        continue  # wildcard: FIFO pairing not provable
+                    key = (src, local, tag)
+                    channels.setdefault(key, {"send": [], "recv": []})[
+                        "recv"].append((w, pos, n))
+        for (src, dst, tag), traffic in channels.items():
+            sends, recvs = traffic["send"], traffic["recv"]
+            k = len(sends)
+            if k < 2 or len(recvs) != k:
+                continue
+            if not (0 <= dst < len(members)):
+                continue
+            if len({w for w, _, _ in sends}) != 1:
+                continue
+            if len({w for w, _, _ in recvs}) != 1:
+                continue
+            if not all(isinstance(n.result, tuple) and _is_scalar(n.result[0])
+                       for _, _, n in recvs):
+                continue
+            # runs must be contiguous on both sides
+            s_positions = [pos for _, pos, _ in sends]
+            r_positions = [pos for _, pos, _ in recvs]
+            sw, rw = sends[0][0], recvs[0][0]
+            if not all(_only_local_between(epoch.ops[sw], p, q)
+                       for p, q in zip(s_positions, s_positions[1:])):
+                continue
+            if not all(_only_local_between(epoch.ops[rw], p, q)
+                       for p, q in zip(r_positions, r_positions[1:])):
+                continue
+            # payloads must line up FIFO with the recorded receipts
+            if not all(values_equal(sn.payload, rn.result[0])
+                       for (_, _, sn), (_, _, rn) in zip(sends, recvs)):
+                continue
+            packed_payload = [n.payload for _, _, n in sends]
+            first_s = sends[0][2]
+            packed_send = CommOp(
+                idx=epoch.alloc_idx(sw), rank=first_s.rank, kind="p2p",
+                op="send", comm=comm,
+                args={"dest": dst, "tag": tag, "packed": k},
+                payload=packed_payload,
+                deps=tuple(sorted({d for _, _, n in sends for d in n.deps})),
+                ir_pass="coalesce_sends",
+            )
+            first_r = recvs[0][2]
+            packed_recv = CommOp(
+                idx=epoch.alloc_idx(rw), rank=first_r.rank, kind="p2p",
+                op="recv", comm=comm,
+                args={"source": src, "tag": tag, "packed": k,
+                      "matched_source": src, "matched_tag": tag},
+                result=(packed_payload, Status(src, tag, 8 * k)),
+                ir_pass="coalesce_sends",
+            )
+            epoch.ops[sw][s_positions[0]] = packed_send
+            for pos in reversed(s_positions[1:]):
+                del epoch.ops[sw][pos]
+            _remap_deps(epoch.ops[sw],
+                        {n.idx: packed_send.idx for _, _, n in sends})
+            epoch.ops[rw][r_positions[0]] = packed_recv
+            for pos in reversed(r_positions[1:]):
+                del epoch.ops[rw][pos]
+            _remap_deps(epoch.ops[rw],
+                        {n.idx: packed_recv.idx for _, _, n in recvs})
+            result.note(f"comm={comm!r} channel {src}->{dst} tag={tag}: "
+                        f"{k} scalar messages packed into 1")
+            return True
+    return False
+
+
+# -- pass: recognize shift rings as sendrecv ---------------------------------
+
+
+def ring_to_sendrecv(epoch: Epoch) -> PassResult:
+    """Rewrite an aligned ring shift — every rank r sends to (r+d) mod p and
+    then receives from (r-d) mod p with one tag — into one ``sendrecv`` per
+    rank (p combined ops instead of 2p; the collective shape of a ring step).
+    """
+    result = PassResult("ring_to_sendrecv")
+    while _ring_one_round(epoch, result):
+        pass  # positions go stale after each rewrite: rescan
+    return result
+
+
+def _ring_one_round(epoch: Epoch, result: PassResult) -> bool:
+    for comm, members in list(epoch.members.items()):
+        p = len(members)
+        if p < 2:
+            continue
+        candidates: Dict[int, List[Tuple[int, int, CommOp, CommOp]]] = {}
+        for local, w in enumerate(members):
+            nodes = epoch.ops[w]
+            found = []
+            for i, n in enumerate(nodes):
+                if (n.kind != "p2p" or n.op != "send" or n.comm != comm
+                        or n.ir_pass is not None):
+                    continue
+                for j in range(i + 1, len(nodes)):
+                    m = nodes[j]
+                    if m.kind == "local":
+                        continue
+                    if (m.kind == "p2p" and m.op == "recv" and m.comm == comm
+                            and m.ir_pass is None
+                            and m.args.get("source", -1) >= 0
+                            and m.args.get("tag") == n.args.get("tag")):
+                        found.append((i, j, n, m))
+                    break
+            candidates[local] = found
+        rounds = min((len(v) for v in candidates.values()), default=0)
+        for t in range(rounds):
+            ds = set()
+            tags = set()
+            for local in range(p):
+                _, _, sn, rn = candidates[local][t]
+                ds.add((sn.args["dest"] - local) % p)
+                ds.add((local - rn.args["source"]) % p)
+                tags.add(sn.args["tag"])
+            if len(ds) != 1 or 0 in ds or len(tags) != 1:
+                continue
+            d = ds.pop()
+            # the received value must provably be the ring predecessor's send
+            if not all(
+                values_equal(candidates[local][t][3].result[0],
+                             candidates[(local - d) % p][t][2].payload)
+                for local in range(p)
+            ):
+                continue
+            for local, w in enumerate(members):
+                i, j, sn, rn = candidates[local][t]
+                nodes = epoch.ops[w]
+                fused = CommOp(
+                    idx=epoch.alloc_idx(w), rank=sn.rank, kind="p2p",
+                    op="sendrecv", comm=comm,
+                    args={"dest": sn.args["dest"], "source": rn.args["source"],
+                          "sendtag": sn.args["tag"],
+                          "recvtag": rn.args["tag"],
+                          "matched_source": rn.args["matched_source"],
+                          "matched_tag": rn.args["matched_tag"]},
+                    payload=sn.payload,
+                    result=rn.result,
+                    deps=tuple(sorted(set(sn.deps) | set(rn.deps))),
+                    ir_pass="ring_to_sendrecv",
+                )
+                nodes[i] = fused
+                del nodes[j]
+                _remap_deps(nodes, {sn.idx: fused.idx, rn.idx: fused.idx})
+            result.note(f"comm={comm!r}: ring shift d={d} "
+                        f"-> {p} sendrecv ops")
+            return True
+    return False
+
+
+# -- pass: push waits past independent local compute -------------------------
+
+
+def overlap_waits(epoch: Epoch) -> PassResult:
+    """Move the completion of irecv/ibarrier past immediately following local
+    compute, so the transfer overlaps the computation.  Pure reordering: the
+    compute charges are recorded constants, so no node's value can change —
+    only the virtual-time critical path shrinks.
+
+    Waits of send-side non-blocking collectives are deliberately left alone:
+    their progress engines send on advance, so delaying the wait would delay
+    *other* ranks.
+    """
+    result = PassResult("overlap_waits")
+    for w, nodes in enumerate(epoch.ops):
+        i = 0
+        while i < len(nodes):
+            n = nodes[i]
+            if (n.kind == "wait"
+                    and n.args.get("start_op") in ("irecv", "ibarrier")
+                    and n.ir_pass is None):
+                moved = 0
+                while (i + 1 < len(nodes) and nodes[i + 1].kind == "local"
+                       and n.idx not in nodes[i + 1].deps):
+                    nodes[i], nodes[i + 1] = nodes[i + 1], nodes[i]
+                    i += 1
+                    moved += 1
+                if moved:
+                    n.ir_pass = "overlap_waits"
+                    result.note(f"rank {w}: wait(idx={n.idx}) pushed past "
+                                f"{moved} compute node(s)")
+            i += 1
+    return result
+
+
+# -- the pipeline ------------------------------------------------------------
+
+
+PASSES: Dict[str, Callable[[Epoch], PassResult]] = {
+    "fuse_reduce_bcast": fuse_reduce_bcast,
+    "batch_bcasts": batch_bcasts,
+    "fuse_count_exchange": fuse_count_exchange,
+    "coalesce_sends": coalesce_sends,
+    "ring_to_sendrecv": ring_to_sendrecv,
+    "overlap_waits": overlap_waits,
+}
+
+DEFAULT_PASSES: Tuple[str, ...] = tuple(PASSES)
+
+
+def available_passes() -> Tuple[str, ...]:
+    return DEFAULT_PASSES
+
+
+class PassManager:
+    """Runs an ordered pass pipeline over an epoch.
+
+    Selection precedence: an explicit ``passes`` list wins, then
+    ``REPRO_IR_PASSES`` (exact ordered list), then the default pipeline
+    minus ``REPRO_IR_DISABLE``.
+    """
+
+    def __init__(self, passes: Optional[Sequence[str]] = None, *,
+                 disable: Sequence[str] = (), env=None):
+        if env is None:
+            env = os.environ
+        if passes is None and env.get(ENV_PASSES):
+            passes = [p for p in env[ENV_PASSES].split(",") if p.strip()]
+        disabled = set(disable)
+        if env.get(ENV_DISABLE):
+            disabled |= {p.strip() for p in env[ENV_DISABLE].split(",")
+                         if p.strip()}
+        selected = list(passes) if passes is not None else [
+            p for p in DEFAULT_PASSES if p not in disabled
+        ]
+        for name in list(selected) + sorted(disabled):
+            if name not in PASSES:
+                raise RawUsageError(
+                    f"unknown IR pass {name!r}; available: "
+                    f"{', '.join(DEFAULT_PASSES)}"
+                )
+        self.pass_names: Tuple[str, ...] = tuple(
+            p for p in selected if p not in disabled
+        )
+
+    def run(self, epoch: Epoch) -> List[PassResult]:
+        """Apply the pipeline in order, mutating ``epoch`` in place."""
+        return [PASSES[name](epoch) for name in self.pass_names]

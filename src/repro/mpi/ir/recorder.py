@@ -1,0 +1,568 @@
+"""Recording an epoch: a ``RawComm`` subclass that journals every raw op.
+
+:class:`RecordingComm` is substituted for the plain raw communicator when a
+run is started with ``run_mpi(fn, p, ir=...)``.  Every *public* raw call is
+executed normally (``super()``) and journaled as one :class:`CommOp` node —
+inputs snapshotted before the call, outputs after — so the recorded graph is
+simultaneously a faithful transcript and an executable schedule.  The
+*internal* point-to-point rounds of collective algorithms are deliberately
+not recorded: a collective is one node, and its internal schedule is the
+engine's business (the node pins which algorithm ran instead).
+
+Value dependencies are recovered by object identity: each node registers its
+result objects, and later nodes whose payloads are (or contain) a registered
+object get a dependency edge.  Only container objects participate — interned
+scalars would fabricate edges.
+
+Ops the IR cannot replay faithfully (probe/iprobe whose answer depends on
+timing, RMA windows, ULFM fault handling) are journaled as *unsupported*;
+``ir="record"`` reports them, ``ir="optimize"`` refuses the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.context import RawComm
+from repro.mpi.datatypes import snapshot
+from repro.mpi.ir.nodes import CommOp
+from repro.mpi.ops import Op
+from repro.mpi.requests import RawRequest
+
+
+class UnsupportedForIR(RuntimeError):
+    """The recorded epoch used ops the IR cannot replay faithfully."""
+
+
+def _snap(value: Any) -> Any:
+    return snapshot(value)
+
+
+class Recorder:
+    """One rank's journal of :class:`CommOp` nodes, in issue order."""
+
+    def __init__(self, world_rank: int):
+        self.world_rank = world_rank
+        self.nodes: list[CommOp] = []
+        self.unsupported: set[str] = set()
+        #: comm id -> tuple of world ranks backing its local ranks
+        self.members: dict[Hashable, tuple[int, ...]] = {}
+        #: id(result object) -> index of the node that produced it
+        self._producers: dict[int, int] = {}
+        #: per-comm instance counter for collectives/nbc/management ops
+        self._seq: dict[Hashable, int] = {}
+
+    def register_comm(self, comm: RawComm) -> None:
+        self.members.setdefault(comm.comm_id, tuple(comm.state.members))
+
+    def next_seq(self, comm_id: Hashable) -> int:
+        seq = self._seq.get(comm_id, 0)
+        self._seq[comm_id] = seq + 1
+        return seq
+
+    def deps_of(self, *payloads: Any) -> tuple[int, ...]:
+        """Dependency edges for a node's input payloads (identity-based)."""
+        deps = []
+        for payload in payloads:
+            idx = self._producers.get(id(payload))
+            if idx is not None:
+                deps.append(idx)
+            if isinstance(payload, (list, tuple)):
+                for item in payload:
+                    idx = self._producers.get(id(item))
+                    if idx is not None:
+                        deps.append(idx)
+        return tuple(sorted(set(deps)))
+
+    def note_result(self, idx: int, obj: Any) -> None:
+        """Register ``obj`` (and its elements) as produced by node ``idx``."""
+        if isinstance(obj, (np.ndarray, list, tuple, dict)):
+            self._producers[id(obj)] = idx
+            if isinstance(obj, (list, tuple)):
+                for item in obj:
+                    if isinstance(item, (np.ndarray, list, tuple, dict)):
+                        self._producers[id(item)] = idx
+
+    def add(self, comm: RawComm, kind: str, op: str, *,
+            seq: Optional[int] = None, args: Optional[dict] = None,
+            payload: Any = None, result: Any = None,
+            deps: tuple[int, ...] = (), snap_result: bool = True) -> CommOp:
+        node = CommOp(
+            idx=len(self.nodes),
+            rank=comm.rank,
+            kind=kind,
+            op=op,
+            comm=comm.comm_id,
+            seq=seq,
+            args=dict(args) if args else {},
+            payload=_snap(payload),
+            result=_snap(result) if snap_result else result,
+            deps=deps,
+        )
+        self.nodes.append(node)
+        if result is not None:
+            self.note_result(node.idx, result)
+        return node
+
+    def export(self) -> dict:
+        """Picklable per-rank journal (rides back through any backend)."""
+        return {
+            "world_rank": self.world_rank,
+            "nodes": self.nodes,
+            "members": self.members,
+            "unsupported": self.unsupported,
+        }
+
+
+class RecordingRequest(RawRequest):
+    """Wraps a raw request so its completion is journaled as a wait node.
+
+    The first successful ``wait()``/``test()`` appends one ``wait`` node
+    whose ``args["start"]`` names the start node; wildcard receives
+    back-patch their start node with the concretely matched source/tag, which
+    is what lets the replayer re-issue them deterministically.
+    """
+
+    def __init__(self, inner: RawRequest, comm: "RecordingComm",
+                 start: CommOp):
+        self._inner = inner
+        self._comm = comm
+        self._start = start
+        self._recorded = False
+
+    def _record_wait(self, value: Any) -> None:
+        if self._recorded:
+            return
+        self._recorded = True
+        rec = self._comm.recorder
+        if (self._start.op == "irecv" and isinstance(value, tuple)
+                and len(value) == 2):
+            _, status = value
+            self._start.args["matched_source"] = status.source
+            self._start.args["matched_tag"] = status.tag
+        rec.add(self._comm, "wait", "wait",
+                args={"start": self._start.idx, "start_op": self._start.op},
+                result=value, deps=(self._start.idx,))
+
+    def wait(self) -> Any:
+        value = self._inner.wait()
+        self._record_wait(value)
+        return value
+
+    def test(self) -> tuple[bool, Any]:
+        done, value = self._inner.test()
+        if done:
+            self._record_wait(value)
+        return done, value
+
+    def cancel(self) -> bool:
+        self._comm.recorder.unsupported.add("cancel")
+        self._start.args["cancelled"] = True
+        return self._inner.cancel()  # type: ignore[attr-defined]
+
+    @property
+    def cancelled(self) -> bool:
+        return getattr(self._inner, "cancelled", False)
+
+    def audit_state(self) -> str:
+        return self._inner.audit_state()
+
+    def audit_pending_recvs(self):
+        return self._inner.audit_pending_recvs()
+
+
+class RecordingComm(RawComm):
+    """Raw communicator that journals every public op it executes."""
+
+    def __init__(self, machine, state, world_rank: int, recorder: Recorder):
+        super().__init__(machine, state, world_rank)
+        self.recorder = recorder
+        recorder.register_comm(self)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _rec_coll(self, op: str, result: Any, *, payload: Any = None,
+                  seq: int, args: Optional[dict] = None,
+                  kind: str = "coll", extra_inputs: tuple = ()) -> None:
+        self.recorder.add(
+            self, kind, op, seq=seq, args=args, payload=payload,
+            result=result,
+            deps=self.recorder.deps_of(payload, *extra_inputs),
+        )
+
+    def _algo_name(self, op: str, *, payload: Any = None, hint=None) -> str:
+        """The algorithm :meth:`_coll_algo` resolves for this call — observed
+        via the engine's side-effect-free :meth:`peek` (plus the singleton
+        fast path), so recording never double-fires fault hooks."""
+        if self.state.size == 1:
+            from repro.mpi.algorithms import SINGLETON
+
+            algo = SINGLETON.get(op)
+            if algo is not None:
+                return algo.name
+        engine = self.machine.engine
+        scoped = self._coll_tuning.get(op)
+        nbytes = 0
+        if engine.size_sensitive(op, self.comm_id, scoped=scoped):
+            from repro.mpi.tracing import _sum_payload_bytes
+
+            if hint is not None:
+                nbytes = int(hint())
+            elif payload is not None:
+                nbytes = _sum_payload_bytes(payload)
+        return engine.peek(op, p=self.state.size, nbytes=nbytes,
+                           comm_id=self.comm_id, scoped=scoped).name
+
+    def _adopt(self, comm: Optional[RawComm]) -> Optional["RecordingComm"]:
+        """Re-wrap a communicator returned by a management op."""
+        if comm is None:
+            return None
+        wrapped = RecordingComm(comm.machine, comm.state, comm.world_rank,
+                                self.recorder)
+        return wrapped
+
+    def _unsupported(self, op: str) -> None:
+        self.recorder.unsupported.add(op)
+
+    # -- local compute ------------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        super().compute(seconds)
+        self.recorder.add(self, "local", "compute",
+                          args={"seconds": seconds})
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        deps = self.recorder.deps_of(payload)
+        super().send(payload, dest, tag)
+        self.recorder.add(self, "p2p", "send",
+                          args={"dest": dest, "tag": tag},
+                          payload=payload, deps=deps)
+
+    def ssend(self, payload: Any, dest: int, tag: int = 0) -> None:
+        deps = self.recorder.deps_of(payload)
+        super().ssend(payload, dest, tag)
+        self.recorder.add(self, "p2p", "ssend",
+                          args={"dest": dest, "tag": tag},
+                          payload=payload, deps=deps)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
+        deps = self.recorder.deps_of(payload)
+        req = super().isend(payload, dest, tag)
+        node = self.recorder.add(self, "p2p", "isend",
+                                 args={"dest": dest, "tag": tag},
+                                 payload=payload, deps=deps)
+        return RecordingRequest(req, self, node)
+
+    def issend(self, payload: Any, dest: int, tag: int = 0) -> RawRequest:
+        deps = self.recorder.deps_of(payload)
+        req = super().issend(payload, dest, tag)
+        node = self.recorder.add(self, "p2p", "issend",
+                                 args={"dest": dest, "tag": tag},
+                                 payload=payload, deps=deps)
+        return RecordingRequest(req, self, node)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        payload, status = super().recv(source, tag)
+        self.recorder.add(
+            self, "p2p", "recv",
+            args={"source": source, "tag": tag,
+                  "matched_source": status.source,
+                  "matched_tag": status.tag},
+            result=(payload, status),
+        )
+        return payload, status
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        req = super().irecv(source, tag)
+        node = self.recorder.add(self, "p2p", "irecv",
+                                 args={"source": source, "tag": tag})
+        return RecordingRequest(req, self, node)
+
+    def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE, *,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        deps = self.recorder.deps_of(payload)
+        out, status = super().sendrecv(payload, dest, source,
+                                       sendtag=sendtag, recvtag=recvtag)
+        self.recorder.add(
+            self, "p2p", "sendrecv",
+            args={"dest": dest, "source": source, "sendtag": sendtag,
+                  "recvtag": recvtag, "matched_source": status.source,
+                  "matched_tag": status.tag},
+            payload=payload, result=(out, status), deps=deps,
+        )
+        return out, status
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self._unsupported("probe")
+        return super().probe(source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self._unsupported("iprobe")
+        return super().iprobe(source, tag)
+
+    # -- synchronization -----------------------------------------------------
+
+    def barrier(self) -> None:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("barrier")
+        super().barrier()
+        self._rec_coll("barrier", None, seq=seq, args={"algorithm": algo})
+
+    def ibarrier(self) -> RawRequest:
+        seq = self.recorder.next_seq(self.comm_id)
+        req = super().ibarrier()
+        node = self.recorder.add(self, "nbc", "ibarrier", seq=seq)
+        return RecordingRequest(req, self, node)
+
+    # -- collectives ---------------------------------------------------------
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("bcast")
+        out = super().bcast(payload, root)
+        self._rec_coll("bcast", out,
+                       payload=payload if self.rank == root else None,
+                       seq=seq, args={"root": root, "algorithm": algo})
+        return out
+
+    def gather(self, payload: Any, root: int = 0):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("gather", payload=payload)
+        out = super().gather(payload, root)
+        self._rec_coll("gather", out, payload=payload, seq=seq,
+                       args={"root": root, "algorithm": algo})
+        return out
+
+    def gatherv(self, sendbuf, recvcounts, root: int = 0):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("gatherv", payload=sendbuf)
+        out = super().gatherv(sendbuf, recvcounts, root)
+        self._rec_coll("gatherv", out, payload=sendbuf, seq=seq,
+                       args={"root": root, "algorithm": algo,
+                             "recvcounts": _snap(recvcounts)},
+                       extra_inputs=(recvcounts,))
+        return out
+
+    def scatter(self, payloads, root: int = 0):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("scatter")
+        out = super().scatter(payloads, root)
+        self._rec_coll("scatter", out,
+                       payload=payloads if self.rank == root else None,
+                       seq=seq, args={"root": root, "algorithm": algo})
+        return out
+
+    def scatterv(self, sendbuf, sendcounts, root: int = 0):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("scatterv")
+        out = super().scatterv(sendbuf, sendcounts, root)
+        self._rec_coll("scatterv", out,
+                       payload=sendbuf if self.rank == root else None,
+                       seq=seq, args={"root": root, "algorithm": algo,
+                                      "sendcounts": _snap(sendcounts)})
+        return out
+
+    def allgather(self, payload: Any) -> list:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("allgather", payload=payload)
+        out = super().allgather(payload)
+        self._rec_coll("allgather", out, payload=payload, seq=seq,
+                       args={"algorithm": algo})
+        return out
+
+    def allgatherv(self, sendbuf, recvcounts):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name(
+            "allgatherv",
+            hint=lambda: int(np.sum(recvcounts)) * np.asarray(sendbuf).itemsize,
+        )
+        out = super().allgatherv(sendbuf, recvcounts)
+        self._rec_coll("allgatherv", out, payload=sendbuf, seq=seq,
+                       args={"algorithm": algo,
+                             "recvcounts": _snap(recvcounts)},
+                       extra_inputs=(recvcounts,))
+        return out
+
+    def alltoall(self, payloads) -> list:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("alltoall", payload=payloads)
+        out = super().alltoall(payloads)
+        self._rec_coll("alltoall", out, payload=payloads, seq=seq,
+                       args={"algorithm": algo})
+        return out
+
+    def alltoallv(self, sendbuf, sendcounts, recvcounts):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name(
+            "alltoallv",
+            hint=lambda: int(np.sum(sendcounts)) * np.asarray(sendbuf).itemsize,
+        )
+        out = super().alltoallv(sendbuf, sendcounts, recvcounts)
+        self._rec_coll("alltoallv", out, payload=sendbuf, seq=seq,
+                       args={"algorithm": algo,
+                             "sendcounts": _snap(sendcounts),
+                             "recvcounts": _snap(recvcounts)},
+                       extra_inputs=(sendcounts, recvcounts))
+        return out
+
+    def alltoallw(self, send_blocks) -> list:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("alltoallw", payload=send_blocks)
+        out = super().alltoallw(send_blocks)
+        self._rec_coll("alltoallw", out, payload=send_blocks, seq=seq,
+                       args={"algorithm": algo})
+        return out
+
+    def reduce(self, value: Any, op: Op, root: int = 0) -> Any:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("reduce", payload=value)
+        out = super().reduce(value, op, root)
+        self._rec_coll("reduce", out, payload=value, seq=seq,
+                       args={"root": root, "op": op, "algorithm": algo})
+        return out
+
+    def allreduce(self, value: Any, op: Op) -> Any:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("allreduce", payload=value)
+        out = super().allreduce(value, op)
+        self._rec_coll("allreduce", out, payload=value, seq=seq,
+                       args={"op": op, "algorithm": algo})
+        return out
+
+    def scan(self, value: Any, op: Op) -> Any:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("scan", payload=value)
+        out = super().scan(value, op)
+        self._rec_coll("scan", out, payload=value, seq=seq,
+                       args={"op": op, "algorithm": algo})
+        return out
+
+    def exscan(self, value: Any, op: Op) -> Any:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("exscan", payload=value)
+        out = super().exscan(value, op)
+        self._rec_coll("exscan", out, payload=value, seq=seq,
+                       args={"op": op, "algorithm": algo})
+        return out
+
+    # -- non-blocking collectives -------------------------------------------
+
+    def ibcast(self, payload: Any, root: int = 0):
+        seq = self.recorder.next_seq(self.comm_id)
+        req = super().ibcast(payload, root)
+        node = self.recorder.add(self, "nbc", "ibcast", seq=seq,
+                                 args={"root": root}, payload=payload,
+                                 deps=self.recorder.deps_of(payload))
+        return RecordingRequest(req, self, node)
+
+    def iallreduce(self, value: Any, op: Op):
+        seq = self.recorder.next_seq(self.comm_id)
+        req = super().iallreduce(value, op)
+        node = self.recorder.add(self, "nbc", "iallreduce", seq=seq,
+                                 args={"op": op}, payload=value,
+                                 deps=self.recorder.deps_of(value))
+        return RecordingRequest(req, self, node)
+
+    def iallgather(self, payload: Any):
+        seq = self.recorder.next_seq(self.comm_id)
+        req = super().iallgather(payload)
+        node = self.recorder.add(self, "nbc", "iallgather", seq=seq,
+                                 payload=payload,
+                                 deps=self.recorder.deps_of(payload))
+        return RecordingRequest(req, self, node)
+
+    # -- neighborhood collectives ---------------------------------------------
+
+    def neighbor_alltoall(self, payloads) -> list:
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("neighbor_alltoall")
+        out = super().neighbor_alltoall(payloads)
+        self._rec_coll("neighbor_alltoall", out, payload=payloads, seq=seq,
+                       args={"algorithm": algo})
+        return out
+
+    def neighbor_alltoallv(self, sendbuf, sendcounts, recvcounts):
+        seq = self.recorder.next_seq(self.comm_id)
+        algo = self._algo_name("neighbor_alltoallv")
+        out = super().neighbor_alltoallv(sendbuf, sendcounts, recvcounts)
+        self._rec_coll("neighbor_alltoallv", out, payload=sendbuf, seq=seq,
+                       args={"algorithm": algo,
+                             "sendcounts": _snap(sendcounts),
+                             "recvcounts": _snap(recvcounts)},
+                       extra_inputs=(sendcounts, recvcounts))
+        return out
+
+    # -- communicator management ---------------------------------------------
+
+    def dup(self) -> "RecordingComm":
+        seq = self.recorder.next_seq(self.comm_id)
+        inner = super().dup()
+        wrapped = self._adopt(inner)
+        self.recorder.add(self, "mgmt", "comm_dup", seq=seq,
+                          args={"new_comm": inner.comm_id})
+        return wrapped
+
+    def split(self, color, key=None) -> Optional["RecordingComm"]:
+        seq = self.recorder.next_seq(self.comm_id)
+        inner = super().split(color, key)
+        wrapped = self._adopt(inner)
+        self.recorder.add(
+            self, "mgmt", "comm_split", seq=seq,
+            args={"color": color, "key": key,
+                  "new_comm": inner.comm_id if inner is not None else None},
+        )
+        return wrapped
+
+    def dist_graph_create_adjacent(self, sources, destinations
+                                   ) -> "RecordingComm":
+        seq = self.recorder.next_seq(self.comm_id)
+        inner = super().dist_graph_create_adjacent(sources, destinations)
+        wrapped = self._adopt(inner)
+        self.recorder.add(
+            self, "mgmt", "dist_graph_create_adjacent", seq=seq,
+            args={"sources": tuple(sources),
+                  "destinations": tuple(destinations),
+                  "new_comm": inner.comm_id},
+        )
+        return wrapped
+
+    # -- ops the IR does not model --------------------------------------------
+
+    def win_create(self, local):
+        self._unsupported("win_create")
+        return super().win_create(local)
+
+    def kill_self(self) -> None:
+        self._unsupported("kill_self")
+        super().kill_self()
+
+    def revoke(self) -> None:
+        self._unsupported("comm_revoke")
+        super().revoke()
+
+    def shrink(self, generation=0):
+        self._unsupported("comm_shrink")
+        return super().shrink(generation)
+
+    def agree(self, flag: bool, generation=0) -> bool:
+        self._unsupported("comm_agree")
+        return super().agree(flag, generation)
+
+
+def record_main(raw: RawComm, fn, user_args: Sequence[Any]) -> dict:
+    """Per-rank recording entry: run ``fn`` on a journaling communicator.
+
+    Returns a picklable dict so the journal rides back through any execution
+    backend exactly like a normal return value.
+    """
+    recorder = Recorder(raw.world_rank)
+    comm = RecordingComm(raw.machine, raw.state, raw.world_rank, recorder)
+    value = fn(comm, *user_args)
+    export = recorder.export()
+    export["value"] = value
+    return export

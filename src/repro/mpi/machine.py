@@ -12,6 +12,7 @@ backend builds a rank-local replica satisfying the same duck-typed contract
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
@@ -92,6 +93,10 @@ class RunResult:
     leaks: Optional[LeakReport] = None
     #: name of the execution backend that produced this result
     backend: str = "thread"
+    #: communication-plan IR report (``None`` unless the run used ``ir=``);
+    #: an :class:`~repro.mpi.ir.driver.IRReport` with the recorded epoch,
+    #: pass results, and — under ``ir="optimize"`` — the verified replay
+    ir: Optional[Any] = None
 
     @property
     def max_time(self) -> float:
@@ -285,7 +290,9 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             sanitize: Optional[bool] = None,
             fuzz_seed: Optional[int] = None,
             faults=None,
-            backend: Optional[str | "Backend"] = None) -> RunResult:
+            backend: Optional[str | "Backend"] = None,
+            ir: Optional[str] = None,
+            ir_passes: Optional[Sequence[str]] = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
@@ -329,7 +336,25 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     rounds of collective schedules, at scripted checkpoints, or by seeded
     random draws (seed default: ``REPRO_FAULT_SEED``); injected faults show
     up as ``fault:<kind>`` events on traced runs.
+
+    ``ir`` activates the communication-plan IR (default: the ``REPRO_IR``
+    env var; ``"off"``/unset disables).  ``ir="record"`` journals every raw
+    op into an :class:`~repro.mpi.ir.nodes.Epoch` attached as ``result.ir``;
+    ``ir="optimize"`` additionally rewrites the epoch
+    (:mod:`repro.mpi.ir.passes`; restrict with ``ir_passes`` or the
+    ``REPRO_IR_PASSES``/``REPRO_IR_DISABLE`` env vars) and replays the
+    optimized graph, verifying it bit-identical against the recording.
     """
+    mode = ir if ir is not None else os.environ.get("REPRO_IR")
+    if mode and mode != "off":
+        from repro.mpi.ir.driver import run_with_ir
+
+        return run_with_ir(
+            fn, num_ranks, mode=mode, ir_passes=ir_passes, args=args,
+            cost_model=cost_model, deadline=deadline, trace=trace,
+            engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
+            faults=faults, backend=backend,
+        )
     from repro.mpi.backends import resolve_backend
 
     return resolve_backend(backend).run(

@@ -62,6 +62,9 @@ class TraceEvent:
     #: name of the collective algorithm the engine selected (``None`` for
     #: point-to-point and management operations)
     algorithm: Optional[str] = None
+    #: name of the IR rewrite pass that produced this op, when the run is an
+    #: IR replay of an optimized epoch (``None``: op as the program wrote it)
+    ir_pass: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -99,11 +102,12 @@ class _Span:
     """Mutable recording handle for one in-flight operation."""
 
     __slots__ = ("_recorder", "_comm", "op", "_peers", "tag", "sent", "recvd",
-                 "algorithm", "_t_start")
+                 "algorithm", "ir_pass", "_t_start")
 
     def __init__(self, recorder: "TraceRecorder", comm, op: str,
                  peers: Sequence[int], tag: Optional[int], sent: int,
-                 algorithm: Optional[str] = None):
+                 algorithm: Optional[str] = None,
+                 ir_pass: Optional[str] = None):
         self._recorder = recorder
         self._comm = comm
         self.op = op
@@ -114,6 +118,7 @@ class _Span:
         self.sent = sent
         self.recvd = 0
         self.algorithm = algorithm
+        self.ir_pass = ir_pass
         self._t_start = 0.0
 
     def set(self, *, peers: Optional[Sequence[int]] = None,
@@ -170,6 +175,7 @@ class _Span:
             t_start=self._t_start,
             t_end=comm.clock.now,
             algorithm=self.algorithm,
+            ir_pass=self.ir_pass,
         ))
         return False
 
@@ -205,7 +211,8 @@ class NullTraceRecorder:
 
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
              tag: Optional[int] = None, sent: int = 0,
-             algorithm: Optional[str] = None) -> _NullSpan:
+             algorithm: Optional[str] = None,
+             ir_pass: Optional[str] = None) -> _NullSpan:
         return _NULL_SPAN
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
@@ -244,9 +251,10 @@ class TraceRecorder:
 
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
              tag: Optional[int] = None, sent: int = 0,
-             algorithm: Optional[str] = None) -> _Span:
+             algorithm: Optional[str] = None,
+             ir_pass: Optional[str] = None) -> _Span:
         """Open a recording span; the event is appended when it exits."""
-        return _Span(self, comm, op, peers, tag, sent, algorithm)
+        return _Span(self, comm, op, peers, tag, sent, algorithm, ir_pass)
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
                peers: Sequence[int] = (), tag: Optional[int] = None,
@@ -348,6 +356,8 @@ class TraceRecorder:
             if e.algorithm is not None:
                 args["algorithm"] = e.algorithm
                 args["size_bucket"] = size_bucket(e.nbytes)
+            if e.ir_pass is not None:
+                args["ir_pass"] = e.ir_pass
             if e.op.startswith("timer:"):
                 cat = "timer"
             elif e.op.startswith("leak:"):

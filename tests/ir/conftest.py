@@ -1,0 +1,28 @@
+"""IR test fixtures.
+
+IR tests that assert passes *fire* must run under an engine with an empty
+environment: the CI algorithm matrix forces algorithms via ``REPRO_COLL_*``,
+and a forced non-binomial reduce legitimately (and correctly) disables the
+fusion passes — the rewrites are only sound over the recorded schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.engine import CollectiveEngine
+
+
+@pytest.fixture(params=[
+    "thread",
+    pytest.param("process", marks=pytest.mark.slow),
+])
+def backend(request) -> str:
+    """Both execution backends; the process lane rides the slow marker."""
+    return request.param
+
+
+@pytest.fixture
+def clean_engine() -> CollectiveEngine:
+    """An engine blind to ``REPRO_COLL_*`` (deterministic recorded schedules)."""
+    return CollectiveEngine(env={})

@@ -1,0 +1,91 @@
+"""Static algorithm fragments: pinned schedules the passes reason against."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.mpi.algorithms import get as get_algorithm
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ir import fragment, has_fragment
+from repro.mpi.ir.fragments import FRAGMENTS
+
+SIZES = (1, 2, 3, 4, 7, 8)
+
+
+def test_reduce_bcast_is_the_exact_composition():
+    """The identity fuse_reduce_bcast relies on: the fused allreduce's
+    schedule is reduce/binomial followed by bcast/binomial, per rank."""
+    for p in SIZES:
+        for rank in range(p):
+            fused = fragment("allreduce", "reduce_bcast", p, rank)
+            parts = (fragment("reduce", "binomial", p, rank)
+                     + fragment("bcast", "binomial", p, rank))
+            assert fused == parts, (p, rank)
+
+
+@pytest.mark.parametrize("collective,name", sorted(FRAGMENTS))
+def test_every_send_has_a_matching_recv(collective, name):
+    """Fragments are globally consistent: the multiset of send channels
+    equals the multiset of recv channels at every communicator size."""
+    for p in SIZES:
+        sends: Counter = Counter()
+        recvs: Counter = Counter()
+        for rank in range(p):
+            for ev in fragment(collective, name, p, rank):
+                assert ev.rank == rank
+                if ev.kind == "send":
+                    sends[(ev.rank, ev.peer)] += 1
+                else:
+                    recvs[(ev.peer, ev.rank)] += 1
+        assert sends == recvs, (collective, name, p)
+
+
+def test_rooted_message_counts():
+    """Rooted trees move exactly p-1 messages; the fused allreduce 2(p-1)."""
+    for p in SIZES:
+        for collective, name in (("bcast", "binomial"), ("bcast", "linear"),
+                                 ("reduce", "binomial"), ("reduce", "linear")):
+            total = sum(sum(1 for e in fragment(collective, name, p, r)
+                            if e.kind == "send") for r in range(p))
+            assert total == p - 1, (collective, name, p)
+        fused = sum(sum(1 for e in fragment("allreduce", "reduce_bcast", p, r)
+                        if e.kind == "send") for r in range(p))
+        assert fused == 2 * (p - 1)
+
+
+def test_recursive_doubling_counts_power_of_two():
+    for p in (2, 4, 8):
+        total = sum(len(fragment("allreduce", "recursive_doubling", p, r))
+                    for r in range(p))
+        # each of log2(p) rounds is a full pairwise exchange: p sends+recvs
+        assert total == 2 * p * p.bit_length() - 2 * p
+
+
+def test_nonzero_root_is_a_relabeling():
+    """Rooted fragments with root r are the root-0 schedule relabeled."""
+    p, root = 8, 3
+    for rank in range(p):
+        shifted = fragment("bcast", "binomial", p, rank, root)
+        base = fragment("bcast", "binomial", p, (rank - root) % p)
+        assert tuple((e.kind, (e.peer + root) % p) for e in base) == \
+            tuple((e.kind, e.peer) for e in shifted)
+
+
+def test_registry_algorithms_expose_their_fragment():
+    algo = get_algorithm("allreduce", "reduce_bcast")
+    assert algo.fragment(4, 2) == fragment("allreduce", "reduce_bcast", 4, 2)
+
+
+def test_unmapped_algorithms_are_opaque():
+    assert not has_fragment("allgather", "ring")
+    with pytest.raises(KeyError):
+        fragment("allgather", "ring", 4, 0)
+
+
+def test_rank_and_root_ranges_are_validated():
+    with pytest.raises(RawUsageError, match="rank"):
+        fragment("bcast", "binomial", 4, 4)
+    with pytest.raises(RawUsageError, match="root"):
+        fragment("bcast", "binomial", 4, 0, root=-1)

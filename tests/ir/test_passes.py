@@ -1,0 +1,349 @@
+"""Rewrite passes: fire where provably sound, refuse everywhere else."""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_mpi
+from repro.mpi.errors import RawUsageError
+from repro.mpi.ir import DEFAULT_PASSES, PassManager, available_passes
+from repro.mpi.ir.passes import PASSES
+from repro.mpi.ops import MAX, SUM
+
+
+def _record(fn, p, clean_engine, **kwargs):
+    return run_mpi(fn, p, ir="record", engine=clean_engine, **kwargs).ir.epoch
+
+
+def _run_pass(name, epoch):
+    optimized = copy.deepcopy(epoch)
+    result = PASSES[name](optimized)
+    return optimized, result
+
+
+# -- fuse_reduce_bcast -------------------------------------------------------
+
+
+def _reduce_then_bcast(raw):
+    total = raw.reduce(raw.rank + 1, SUM, 0)
+    return raw.bcast(total, 0)
+
+
+def test_fuse_reduce_bcast_fires(clean_engine):
+    epoch = _record(_reduce_then_bcast, 4, clean_engine)
+    optimized, result = _run_pass("fuse_reduce_bcast", epoch)
+    assert result.rewrites == 1
+    assert optimized.op_counts() == {"allreduce": 4}
+    fused = optimized.ops[0][0]
+    assert fused.args["algorithm"] == "reduce_bcast"
+    assert fused.ir_pass == "fuse_reduce_bcast"
+    assert fused.result == epoch.ops[0][-1].result
+
+
+def test_fuse_refuses_when_bcast_value_differs(clean_engine):
+    def tweaked(raw):
+        total = raw.reduce(raw.rank + 1, SUM, 0)
+        if raw.rank == 0:
+            total = total + 1  # rebroadcasts a *different* value
+        return raw.bcast(total, 0)
+
+    epoch = _record(tweaked, 4, clean_engine)
+    _, result = _run_pass("fuse_reduce_bcast", epoch)
+    assert result.rewrites == 0
+
+
+def test_fuse_refuses_nonzero_root(clean_engine):
+    def rooted(raw):
+        total = raw.reduce(raw.rank, SUM, 1)
+        return raw.bcast(total, 1)
+
+    epoch = _record(rooted, 4, clean_engine)
+    _, result = _run_pass("fuse_reduce_bcast", epoch)
+    assert result.rewrites == 0
+
+
+def test_fuse_refuses_interleaved_collective(clean_engine):
+    def interleaved(raw):
+        total = raw.reduce(raw.rank, SUM, 0)
+        raw.barrier()
+        return raw.bcast(total, 0)
+
+    epoch = _record(interleaved, 4, clean_engine)
+    _, result = _run_pass("fuse_reduce_bcast", epoch)
+    assert result.rewrites == 0
+
+
+def test_fuse_repeats_across_multiple_pairs(clean_engine):
+    def twice(raw):
+        a = raw.bcast(raw.reduce(raw.rank, SUM, 0), 0)
+        b = raw.bcast(raw.reduce(raw.rank, MAX, 0), 0)
+        return a, b
+
+    epoch = _record(twice, 4, clean_engine)
+    optimized, result = _run_pass("fuse_reduce_bcast", epoch)
+    assert result.rewrites == 2
+    assert optimized.op_counts() == {"allreduce": 8}
+
+
+# -- batch_bcasts ------------------------------------------------------------
+
+
+def test_batch_bcasts_merges_scalar_run_byte_neutrally(clean_engine):
+    def config(raw):
+        a = raw.bcast(7 if raw.rank == 0 else None, 0)
+        b = raw.bcast(8 if raw.rank == 0 else None, 0)
+        c = raw.bcast(9 if raw.rank == 0 else None, 0)
+        return a + b + c
+
+    epoch = _record(config, 4, clean_engine)
+    optimized, result = _run_pass("batch_bcasts", epoch)
+    assert result.rewrites == 1
+    assert optimized.op_counts() == {"bcast": 4}
+    batched = optimized.ops[0][0]
+    assert batched.args["batched"] == 3
+    assert batched.result == [7, 8, 9]
+    assert optimized.total_bytes() == epoch.total_bytes()  # byte-neutral
+    assert optimized.total_raw_ops() < epoch.total_raw_ops()
+
+
+def test_batch_bcasts_refuses_mixed_roots(clean_engine):
+    def mixed(raw):
+        a = raw.bcast(1 if raw.rank == 0 else None, 0)
+        b = raw.bcast(2 if raw.rank == 1 else None, 1)
+        return a + b
+
+    epoch = _record(mixed, 4, clean_engine)
+    _, result = _run_pass("batch_bcasts", epoch)
+    assert result.rewrites == 0
+
+
+def test_batch_bcasts_refuses_array_payloads(clean_engine):
+    def arrays(raw):
+        a = raw.bcast(np.arange(3) if raw.rank == 0 else None, 0)
+        b = raw.bcast(np.arange(3) if raw.rank == 0 else None, 0)
+        return len(a) + len(b)
+
+    epoch = _record(arrays, 4, clean_engine)
+    _, result = _run_pass("batch_bcasts", epoch)
+    assert result.rewrites == 0
+
+
+# -- fuse_count_exchange -----------------------------------------------------
+
+
+def _counted_exchange(raw):
+    scounts = [raw.rank + 1] * raw.size
+    data = np.arange(sum(scounts), dtype=np.int64)
+    rcounts = raw.alltoall(list(scounts))
+    return raw.alltoallv(data, scounts, rcounts)
+
+
+def test_fuse_count_exchange_removes_count_alltoall(clean_engine):
+    epoch = _record(_counted_exchange, 4, clean_engine)
+    optimized, result = _run_pass("fuse_count_exchange", epoch)
+    assert result.rewrites == 1
+    assert optimized.op_counts() == {"alltoall": 4}
+    fused = optimized.ops[0][0]
+    assert fused.args["post"] == "concat"
+    assert fused.ir_pass == "fuse_count_exchange"
+    # the count vectors (8 bytes x p per rank) are off the wire entirely
+    assert epoch.total_bytes() - optimized.total_bytes() == 8 * 4 * 4
+
+
+def test_fuse_count_exchange_refuses_mismatched_counts(clean_engine):
+    def independent(raw):
+        raw.alltoall([raw.rank] * raw.size)  # unrelated count-shaped traffic
+        data = np.arange(raw.size, dtype=np.int64)
+        return raw.alltoallv(data, [1] * raw.size, [1] * raw.size)
+
+    epoch = _record(independent, 4, clean_engine)
+    _, result = _run_pass("fuse_count_exchange", epoch)
+    assert result.rewrites == 0
+
+
+# -- coalesce_sends ----------------------------------------------------------
+
+
+def _chatty(raw):
+    if raw.rank == 0:
+        for k in range(4):
+            raw.send(k * 11, 1, tag=5)
+    if raw.rank == 1:
+        return [raw.recv(0, 5)[0] for _ in range(4)]
+    return None
+
+
+def test_coalesce_sends_packs_scalar_channel(clean_engine):
+    epoch = _record(_chatty, 2, clean_engine)
+    optimized, result = _run_pass("coalesce_sends", epoch)
+    assert result.rewrites == 1
+    assert optimized.op_counts() == {"send": 1, "recv": 1}
+    packed = optimized.ops[0][0]
+    assert packed.args["packed"] == 4
+    assert packed.payload == [0, 11, 22, 33]
+    assert optimized.total_bytes() == epoch.total_bytes()
+
+
+def test_coalesce_handles_multiple_channels(clean_engine):
+    def fan_in(raw):
+        if raw.rank in (0, 1):
+            for k in range(2):
+                raw.send(raw.rank * 100 + k, 2, tag=raw.rank)
+        if raw.rank == 2:
+            a = [raw.recv(0, 0)[0] for _ in range(2)]
+            b = [raw.recv(1, 1)[0] for _ in range(2)]
+            return a + b
+        return None
+
+    epoch = _record(fan_in, 3, clean_engine)
+    optimized, result = _run_pass("coalesce_sends", epoch)
+    assert result.rewrites == 2
+    assert optimized.op_counts() == {"send": 2, "recv": 2}
+
+
+def test_coalesce_refuses_wildcard_receives(clean_engine):
+    def wild(raw):
+        if raw.rank == 0:
+            raw.send(1, 1, tag=5)
+            raw.send(2, 1, tag=5)
+        if raw.rank == 1:
+            return [raw.recv(-1, 5)[0] for _ in range(2)]
+        return None
+
+    epoch = _record(wild, 2, clean_engine)
+    _, result = _run_pass("coalesce_sends", epoch)
+    assert result.rewrites == 0
+
+
+# -- ring_to_sendrecv --------------------------------------------------------
+
+
+def _ring(raw):
+    p, r = raw.size, raw.rank
+    raw.send(r * 7, (r + 1) % p, tag=2)
+    return raw.recv((r - 1) % p, 2)[0]
+
+
+def test_ring_becomes_sendrecv(clean_engine):
+    epoch = _record(_ring, 4, clean_engine)
+    optimized, result = _run_pass("ring_to_sendrecv", epoch)
+    assert result.rewrites == 1
+    assert optimized.op_counts() == {"sendrecv": 4}
+    fused = optimized.ops[2][0]
+    assert fused.args["dest"] == 3 and fused.args["source"] == 1
+    assert fused.ir_pass == "ring_to_sendrecv"
+
+
+def test_multiple_ring_rounds_all_fuse(clean_engine):
+    def two_rounds(raw):
+        p, r = raw.size, raw.rank
+        out = []
+        for t in range(2):
+            raw.send(r + 100 * t, (r + 1) % p, tag=t)
+            out.append(raw.recv((r - 1) % p, t)[0])
+        return out
+
+    epoch = _record(two_rounds, 3, clean_engine)
+    optimized, result = _run_pass("ring_to_sendrecv", epoch)
+    assert result.rewrites == 2
+    assert optimized.op_counts() == {"sendrecv": 6}
+
+
+def test_unaligned_shifts_do_not_fuse(clean_engine):
+    def skew(raw):
+        p, r = raw.size, raw.rank
+        shift = 1 if r % 2 == 0 else 2  # ranks disagree on the shift
+        raw.send(r, (r + shift) % p, tag=2)
+        back = 1 if (r - 1) % p % 2 == 0 else 2
+        del back
+        return None
+
+    # a genuinely non-ring pattern: everyone sends, nobody receives in a
+    # single uniform shift — guard with matching wildcard-free receives
+    def nonring(raw):
+        p, r = raw.size, raw.rank
+        raw.send(r, (r + 1) % p, tag=2)
+        raw.send(r, (r + 2) % p, tag=3)
+        a = raw.recv((r - 1) % p, 2)[0]
+        b = raw.recv((r - 2) % p, 3)[0]
+        return a + b
+
+    epoch = _record(nonring, 4, clean_engine)
+    optimized, result = _run_pass("ring_to_sendrecv", epoch)
+    # only the tag-2 ring is adjacent-pairable; the tag-3 ring's send is
+    # separated from its recv by other p2p traffic, so exactly one round fuses
+    assert result.rewrites <= 1
+
+
+# -- overlap_waits -----------------------------------------------------------
+
+
+def test_overlap_pushes_irecv_wait_past_compute(clean_engine):
+    def overlap(raw):
+        if raw.rank == 0:
+            raw.send(np.arange(8), 1, tag=1)
+            return None
+        req = raw.irecv(0, 1)
+        value = req.wait()  # recorded before the compute...
+        raw.compute(5e-6)
+        return value[0].sum()
+
+    epoch = _record(overlap, 2, clean_engine)
+    optimized, result = _run_pass("overlap_waits", epoch)
+    assert result.rewrites == 1
+    kinds = [n.kind for n in optimized.ops[1]]
+    assert kinds == ["p2p", "local", "wait"]  # wait hoisted past compute
+    assert optimized.ops[1][-1].ir_pass == "overlap_waits"
+
+
+def test_overlap_respects_dependent_compute(clean_engine):
+    def dependent(raw):
+        if raw.rank == 0:
+            raw.send(np.arange(8), 1, tag=1)
+            raw.compute(5e-6)
+            return None
+        req = raw.irecv(0, 1)
+        payload, _ = req.wait()
+        raw.compute(float(payload[0]) * 1e-9)  # depends on the wait's value
+        return None
+
+    epoch = _record(dependent, 2, clean_engine)
+    # manually add the dep edge the identity tracker cannot see (the compute
+    # charge is derived from the payload): the pass must honor it
+    wait = next(n for n in epoch.ops[1] if n.kind == "wait")
+    compute = next(n for n in epoch.ops[1] if n.kind == "local")
+    compute.deps = (wait.idx,)
+    _, result = _run_pass("overlap_waits", epoch)
+    assert result.rewrites == 0
+
+
+# -- PassManager -------------------------------------------------------------
+
+
+def test_default_pipeline_is_all_passes():
+    assert tuple(PassManager().pass_names) == DEFAULT_PASSES
+    assert available_passes() == DEFAULT_PASSES
+
+
+def test_explicit_pass_list_wins_over_env():
+    pm = PassManager(["batch_bcasts"],
+                     env={"REPRO_IR_PASSES": "fuse_reduce_bcast"})
+    assert list(pm.pass_names) == ["batch_bcasts"]
+
+
+def test_env_pass_list_and_disable():
+    pm = PassManager(env={"REPRO_IR_PASSES": "ring_to_sendrecv,batch_bcasts"})
+    assert list(pm.pass_names) == ["ring_to_sendrecv", "batch_bcasts"]
+    pm = PassManager(env={"REPRO_IR_DISABLE": "overlap_waits"})
+    assert "overlap_waits" not in pm.pass_names
+    assert len(pm.pass_names) == len(DEFAULT_PASSES) - 1
+
+
+def test_unknown_pass_name_raises():
+    with pytest.raises(RawUsageError, match="unknown IR pass"):
+        PassManager(["not_a_pass"])
+    with pytest.raises(RawUsageError, match="unknown IR pass"):
+        PassManager(env={"REPRO_IR_DISABLE": "nope"})
