@@ -120,6 +120,64 @@ def test_selector_matches_best_fixed_algorithm(benchmark, op, p, width):
         _emit_summary()
 
 
+# -- autotuned policy (learned per-machine table) -----------------------------
+
+
+def test_autotuned_policy_matches_best_fixed_on_grid(tmp_path):
+    """A learned table must be at least as good as any fixed algorithm.
+
+    Sweeps the full benchmark grid through :class:`AutoTuner`, installs the
+    learned rules, and checks every cell: the autotuned engine's measured
+    virtual time is ``<=`` the best fixed algorithm's — *exactly*, no slack,
+    because the learned rules pick the measured winner and the simulator is
+    deterministic.  Also round-trips the table through its JSON store and
+    asserts a fresh engine reproduces the selections bit-identically."""
+    from repro.mpi import AutoTuner
+    from repro.mpi.autotune import _hint_bytes
+    from repro.mpi.machine import WORLD_ID
+
+    path = tmp_path / "learned.json"
+    tuner = AutoTuner(path=path, cost_model=CM)
+    tuner.sweep(ops=OPS, ps=PS, widths=WIDTHS)
+    tuner.save()
+    reloaded = AutoTuner.load(path)
+
+    wins = ties = 0
+    for p in PS:
+        tuned = CollectiveEngine(CM, env={})
+        fresh = CollectiveEngine(CM, env={})
+        assert tuner.install(tuned, p=p) == len(OPS)
+        assert reloaded.install(fresh, p=p) == len(OPS)
+        for op in OPS:
+            for width in WIDTHS:
+                fixed = {}
+                for algo in algorithms.algorithms(op):
+                    forced = CollectiveEngine(CM, overrides={op: algo.name},
+                                              env={})
+                    fixed[algo.name], _ = _measure(op, p, width, forced)
+                t_tuned, used = _measure(op, p, width, tuned)
+                best = min(fixed.values())
+                assert t_tuned <= best, (
+                    f"{op} p={p} w={width}: autotuned {used}={t_tuned} "
+                    f"worse than best fixed {best}")
+                if t_tuned < best:
+                    wins += 1
+                else:
+                    ties += 1
+                nbytes = _hint_bytes(op, p, width)
+                want = tuned.explain(op, p=p, nbytes=nbytes, comm_id=WORLD_ID)
+                got = fresh.explain(op, p=p, nbytes=nbytes, comm_id=WORLD_ID)
+                assert got == want and got.source == "learned"
+        for op in OPS:
+            assert fresh.rules(WORLD_ID, op) == tuned.rules(WORLD_ID, op)
+
+    report("autotuned policy — learned table vs. best fixed schedule",
+           f"{len(OPS) * len(PS) * len(WIDTHS)} grid cells: "
+           f"{ties} exact ties with the best fixed algorithm, {wins} wins\n"
+           f"(learned rules install the measured winner per size bucket; "
+           f"reloaded table reproduced every selection bit-identically)")
+
+
 # -- deterministic op/byte baseline (regression gate) ------------------------
 #
 # Virtual times above depend on the cost model's constants; the *traffic* of

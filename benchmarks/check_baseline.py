@@ -11,6 +11,13 @@ reported but never fail — refresh the baseline to lock them in:
     PYTHONPATH=src python -m benchmarks.bench_coll_algorithms \\
         --write-baseline BENCH_coll_algorithms.json
 
+Also re-measures the process/thread backend wall-clock ratio
+(``bench_overhead.backend_wall_ratio``) and compares it against the
+``process_thread_ratio`` committed in ``BENCH_baseline.json``.  Wall clock
+is noisy, so the tolerance is deliberately generous (3x): the gate exists
+to catch order-of-magnitude regressions in the process backend's fork /
+pipe / pickle path, not small scheduling jitter.
+
 Exit status: 0 clean, 1 regression.  Run from the repository root.
 """
 
@@ -21,14 +28,46 @@ import sys
 from pathlib import Path
 
 from benchmarks.bench_coll_algorithms import collect_counts
+from benchmarks.bench_overhead import backend_wall_ratio
 
-BASELINE = Path(__file__).resolve().parent.parent / "BENCH_coll_algorithms.json"
+_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = _ROOT / "BENCH_coll_algorithms.json"
+WALL_BASELINE = _ROOT / "BENCH_baseline.json"
 TOLERANCE = 1.25  # >25% worse on either metric is a regression
+WALL_RATIO_TOLERANCE = 3.0  # wall clock: only order-of-magnitude drift fails
 METRICS = ("raw_ops", "sent_bytes")
 
 
 def _key(cell: dict) -> tuple:
     return (cell["op"], cell["p"], cell["nbytes"], cell["algorithm"])
+
+
+def _committed_wall_ratio() -> float | None:
+    """The process/thread ratio locked into BENCH_baseline.json, if any."""
+    if not WALL_BASELINE.exists():
+        return None
+    for bench in json.loads(WALL_BASELINE.read_text()).get("benchmarks", []):
+        ratio = bench.get("extra_info", {}).get("process_thread_ratio")
+        if ratio is not None:
+            return float(ratio)
+    return None
+
+
+def check_backend_ratio(failures: list[str], notes: list[str]) -> None:
+    committed = _committed_wall_ratio()
+    if committed is None:
+        notes.append("backend wall ratio: no process_thread_ratio in "
+                     f"{WALL_BASELINE.name}; skipping gate")
+        return
+    rows = backend_wall_ratio()
+    print(f"backend wall ratio: process/thread {rows['ratio']:.2f}x "
+          f"(committed {committed:.2f}x, tolerance {WALL_RATIO_TOLERANCE}x)")
+    if rows["ratio"] > committed * WALL_RATIO_TOLERANCE:
+        failures.append(
+            f"backend wall ratio regressed: {rows['ratio']:.2f}x vs "
+            f"committed {committed:.2f}x (> {WALL_RATIO_TOLERANCE}x slack; "
+            f"thread {rows['thread'] * 1e3:.1f} ms, "
+            f"process {rows['process'] * 1e3:.1f} ms)")
 
 
 def main() -> int:
@@ -38,6 +77,7 @@ def main() -> int:
 
     failures: list[str] = []
     notes: list[str] = []
+    check_backend_ratio(failures, notes)
     for key, old in sorted(committed.items()):
         new = current.get(key)
         if new is None:

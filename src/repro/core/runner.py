@@ -23,7 +23,8 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         faults=None,
         backend=None,
         ir: Optional[str] = None,
-        ir_passes: Optional[Sequence[str]] = None) -> RunResult:
+        ir_passes: Optional[Sequence[str]] = None,
+        autotune: Any = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks.
 
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
@@ -42,8 +43,11 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     ``ir`` activates the communication-plan IR (``"record"``/``"optimize"``,
     default: the ``REPRO_IR`` environment variable — see
     :mod:`repro.mpi.ir`), with ``ir_passes`` restricting the rewrite
-    pipeline.  Recording wraps the raw handle beneath the named-parameter
-    layer, so wrapped calls journal exactly the raw ops they issue.
+    pipeline; ``autotune`` installs/updates a learned tuning table around
+    the run (default: the ``REPRO_AUTOTUNE`` environment variable — see
+    :mod:`repro.mpi.autotune`).  Recording wraps the raw handle beneath the
+    named-parameter layer, so wrapped calls journal exactly the raw ops they
+    issue.
     """
 
     def entry(raw, *fn_args):
@@ -52,4 +56,5 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
                    deadline=deadline, trace=trace, engine=engine,
                    sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults,
-                   backend=backend, ir=ir, ir_passes=ir_passes)
+                   backend=backend, ir=ir, ir_passes=ir_passes,
+                   autotune=autotune)

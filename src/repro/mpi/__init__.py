@@ -16,10 +16,10 @@ from repro.mpi.backends import (
     ThreadBackend,
     resolve_backend,
 )
-from repro.mpi.constants import ANY_SOURCE, ANY_TAG, IN_PLACE, PROC_NULL
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, IN_PLACE, PROC_NULL, WORLD_ID
 from repro.mpi.context import RawComm
 from repro.mpi.costmodel import FREE, Clock, CostModel
-from repro.mpi.engine import CollectiveEngine
+from repro.mpi.engine import CollectiveEngine, Decision, TuningRule
 from repro.mpi.errors import (
     ProcessKilled,
     RawCommRevoked,
@@ -77,7 +77,7 @@ from repro.mpi.tracing import (
 )
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "IN_PLACE", "PROC_NULL",
+    "ANY_SOURCE", "ANY_TAG", "IN_PLACE", "PROC_NULL", "WORLD_ID",
     "RawComm", "Machine", "RunResult", "run_mpi",
     "Clock", "CostModel", "FREE",
     "Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "LXOR",
@@ -94,7 +94,18 @@ __all__ = [
     "expect_calls", "call_delta", "snapshot",
     "TraceRecorder", "TraceEvent", "CallSpec", "calls", "NULL_TRACER",
     "size_bucket",
-    "algorithms", "Algorithm", "CollectiveEngine",
+    "algorithms", "Algorithm", "CollectiveEngine", "Decision", "TuningRule",
+    "AutoTuner", "resolve_autotune",
     "ResourceAuditor", "ResourceLeakError", "LeakReport", "LeakRecord",
     "ScheduleFuzzer", "minimize_failing_seeds",
 ]
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.mpi.autotune`` doesn't import the module
+    # twice (package init + runpy) and warn about it.
+    if name in ("AutoTuner", "resolve_autotune"):
+        from repro.mpi import autotune
+
+        return getattr(autotune, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,11 @@ IN_PLACE = object()
 #: Sentinel rank for "no process" (analog of ``MPI_PROC_NULL``).
 PROC_NULL: int = -2
 
+#: Communicator id of the world communicator (analog of ``MPI_COMM_WORLD``).
+#: Tuning tables installed for runs (``engine.tune``, ``AutoTuner.install``)
+#: key on this id, and ``CollectiveEngine.explain`` defaults to it.
+WORLD_ID = "world"
+
 #: Upper bound (exclusive) for user tags; larger values are reserved for the
 #: runtime's internal collective protocols.
 TAG_UB: int = 2**20

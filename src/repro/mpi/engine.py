@@ -8,7 +8,11 @@ Machine` and consulted once per collective call.  Selection precedence:
    ``REPRO_COLL_<OP>=<algo>`` environment variables (e.g.
    ``REPRO_COLL_ALLGATHER=ring``).
 2. **Per-communicator tuning table**: size-bucketed rules installed with
-   :meth:`tune` (what ``Communicator.use_algorithms`` writes).
+   :meth:`tune` (what ``Communicator.use_algorithms`` writes), or with
+   :meth:`install_tuning` which also records *provenance* — ``"tuned"`` for
+   hand-installed rules, ``"learned"`` for tables fitted by
+   :mod:`repro.mpi.autotune`.  :meth:`explain` returns the winning algorithm
+   together with its source tier as a :class:`Decision`.
 3. **Policy**: ``"costmodel"`` picks the argmin of the registered α-β cost
    formulas at the call's ``(p, nbytes)``; ``"default"`` (the default) uses
    the static seed algorithms.  ``REPRO_COLL_POLICY`` overrides the default.
@@ -34,10 +38,12 @@ match correctly.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Hashable, Mapping, Optional, Sequence
 
 from repro.mpi import algorithms as _registry
 from repro.mpi.algorithms import Algorithm
+from repro.mpi.constants import WORLD_ID
 from repro.mpi.costmodel import CostModel
 from repro.mpi.errors import RawUsageError
 
@@ -47,8 +53,33 @@ ENV_POLICY = "REPRO_COLL_POLICY"
 _POLICIES = ("default", "costmodel")
 
 #: a tuning rule: apply ``algorithm`` when ``nbytes <= max_bytes``
-#: (``max_bytes=None`` matches any size)
+#: (inclusive: a call whose hint is exactly ``max_bytes`` takes this rule;
+#: ``max_bytes=None`` matches any size).  Rule lists are canonicalized on
+#: install — sorted ascending by threshold with the ``None`` catch-all last —
+#: so after :meth:`CollectiveEngine.check_rules` each rule covers the
+#: half-open bucket ``(previous max_bytes, max_bytes]``.
 TuningRule = tuple[Optional[int], str]
+
+#: where a resolution came from, in precedence order
+DECISION_SOURCES = ("forced", "scoped", "learned", "tuned", "costmodel", "default")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Provenance of one algorithm resolution (see :meth:`CollectiveEngine.
+    explain`).
+
+    ``source`` is one of :data:`DECISION_SOURCES`; ``rule`` is the matched
+    :data:`TuningRule` when the decision came from a scoped or installed
+    rule list, else ``None``."""
+
+    op: str
+    algorithm: str
+    source: str
+    p: int
+    nbytes: int
+    comm_id: Hashable = None
+    rule: Optional[TuningRule] = None
 
 
 def forced_from_env(env: Mapping[str, str]) -> dict[str, str]:
@@ -92,6 +123,12 @@ class CollectiveEngine:
             op: _registry.get(op, name) for op, name in forced.items()
         }
         self._tuning: dict[tuple[Hashable, str], tuple[TuningRule, ...]] = {}
+        self._tuning_source: dict[tuple[Hashable, str], str] = {}
+        #: when True, every :meth:`resolve` appends a :class:`Decision` to
+        #: :attr:`decisions` (observation aid; off by default to keep the
+        #: hot path allocation-free)
+        self.record_decisions = False
+        self.decisions: list[Decision] = []
         #: observer called as ``fault_hook(op, algorithm_name)`` on every
         #: resolution; a :class:`~repro.mpi.faultinject.FaultCampaign` installs
         #: itself here so mid-collective kill rules can target one schedule
@@ -100,19 +137,46 @@ class CollectiveEngine:
     # -- tuning table --------------------------------------------------------
 
     def check_rules(self, op: str, selection) -> tuple[TuningRule, ...]:
-        """Normalize an algorithm name or rules list into validated rules.
+        """Normalize an algorithm name or rules list into canonical rules.
 
         ``selection`` is either a plain algorithm name or a sequence of
         ``(max_bytes | None, name)`` pairs; every name is resolved against
-        the registry so typos fail here, not mid-collective."""
+        the registry so typos fail here, not mid-collective.
+
+        Canonicalization fixes the historical foot-gun where overlapping or
+        unsorted ``max_bytes`` ranges silently resolved first-match (an
+        out-of-order catch-all shadowed every later bucket): rules are
+        sorted ascending by threshold with the ``None`` catch-all last, and
+        duplicate thresholds — two rules that would cover the *same* bucket,
+        one dead — are rejected.  Thresholds are inclusive upper bounds
+        (``nbytes <= max_bytes``), so canonical rule *i* covers the bucket
+        ``(max_bytes[i-1], max_bytes[i]]``."""
         if isinstance(selection, str):
             rules: Sequence[TuningRule] = [(None, selection)]
         else:
             rules = list(selection)
+        if not rules:
+            raise RawUsageError(f"{op}: empty tuning-rule list")
         checked = []
         for max_bytes, name in rules:
             _registry.get(op, name)  # validate eagerly
+            if max_bytes is not None:
+                if not isinstance(max_bytes, int) or isinstance(max_bytes, bool):
+                    raise RawUsageError(
+                        f"{op}: tuning-rule max_bytes must be int or None, "
+                        f"got {max_bytes!r}")
+                if max_bytes < 0:
+                    raise RawUsageError(
+                        f"{op}: tuning-rule max_bytes must be >= 0, "
+                        f"got {max_bytes}")
             checked.append((max_bytes, name))
+        checked.sort(key=lambda r: (r[0] is None, r[0] if r[0] is not None else 0))
+        for prev, cur in zip(checked, checked[1:]):
+            if prev[0] == cur[0]:
+                what = "catch-all (None)" if cur[0] is None else f"max_bytes={cur[0]}"
+                raise RawUsageError(
+                    f"{op}: overlapping tuning rules — duplicate {what} "
+                    f"({prev[1]!r} shadows {cur[1]!r})")
         return tuple(checked)
 
     def tune(self, comm_id: Hashable, op: str, algorithm: Optional[str] = None,
@@ -130,7 +194,24 @@ class CollectiveEngine:
         if (algorithm is None) == (rules is None):
             raise RawUsageError("tune() takes exactly one of algorithm/rules")
         selection = algorithm if algorithm is not None else rules
-        self._tuning[(comm_id, op)] = self.check_rules(op, selection)
+        self.install_tuning(comm_id, op, selection)
+
+    def install_tuning(self, comm_id: Hashable, op: str, selection, *,
+                       source: str = "tuned") -> tuple[TuningRule, ...]:
+        """Validate, canonicalize, and install tuning rules with provenance.
+
+        ``source`` tags where the table entry came from — ``"tuned"`` for
+        hand-installed rules (:meth:`tune`), ``"learned"`` for rules fitted
+        by :class:`~repro.mpi.autotune.AutoTuner` — and is surfaced by
+        :meth:`explain` / :attr:`decisions`.  Returns the canonical rules."""
+        if source not in DECISION_SOURCES:
+            raise RawUsageError(
+                f"unknown tuning source {source!r}; expected one of "
+                f"{DECISION_SOURCES}")
+        rules = self.check_rules(op, selection)
+        self._tuning[(comm_id, op)] = rules
+        self._tuning_source[(comm_id, op)] = source
+        return rules
 
     def rules(self, comm_id: Hashable, op: str) -> Optional[tuple[TuningRule, ...]]:
         """Currently installed tuning rules for ``(comm_id, op)``, or None."""
@@ -140,9 +221,11 @@ class CollectiveEngine:
         """Remove tuning rules for one op (or all ops) of a communicator."""
         if op is not None:
             self._tuning.pop((comm_id, op), None)
+            self._tuning_source.pop((comm_id, op), None)
             return
         for key in [k for k in self._tuning if k[0] == comm_id]:
             del self._tuning[key]
+            self._tuning_source.pop(key, None)
 
     # -- selection -----------------------------------------------------------
 
@@ -164,8 +247,12 @@ class CollectiveEngine:
     def resolve(self, op: str, *, p: int, nbytes: int = 0,
                 comm_id: Hashable = None,
                 scoped: Optional[Sequence[TuningRule]] = None) -> Algorithm:
-        algo = self._resolve(op, p=p, nbytes=nbytes, comm_id=comm_id,
-                             scoped=scoped)
+        algo, source, rule = self._decide(op, p=p, nbytes=nbytes,
+                                          comm_id=comm_id, scoped=scoped)
+        if self.record_decisions:
+            self.decisions.append(Decision(
+                op=op, algorithm=algo.name, source=source, p=p,
+                nbytes=nbytes, comm_id=comm_id, rule=rule))
         if self.fault_hook is not None:
             self.fault_hook(op, algo.name)
         return algo
@@ -175,26 +262,49 @@ class CollectiveEngine:
              scoped: Optional[Sequence[TuningRule]] = None) -> Algorithm:
         """Answer "what would :meth:`resolve` pick?" without side effects.
 
-        Observation-only: no ``fault_hook`` firing, so fault campaigns
-        counting mid-collective rounds never see phantom resolutions.  Used
-        by the communication-plan IR to reason about recorded schedules."""
-        return self._resolve(op, p=p, nbytes=nbytes, comm_id=comm_id,
-                             scoped=scoped)
+        Observation-only: no ``fault_hook`` firing or decision recording, so
+        fault campaigns counting mid-collective rounds never see phantom
+        resolutions.  Used by the communication-plan IR to reason about
+        recorded schedules."""
+        return self._decide(op, p=p, nbytes=nbytes, comm_id=comm_id,
+                            scoped=scoped)[0]
 
-    def _resolve(self, op: str, *, p: int, nbytes: int,
-                 comm_id: Hashable,
-                 scoped: Optional[Sequence[TuningRule]]) -> Algorithm:
+    def explain(self, op: str, *, p: int, nbytes: int = 0,
+                comm_id: Hashable = WORLD_ID,
+                scoped: Optional[Sequence[TuningRule]] = None) -> Decision:
+        """Resolve like :meth:`peek`, but return the full :class:`Decision`
+        — which algorithm won, from which precedence tier (``source``), and
+        which tuning rule matched, if any.
+
+        Unlike the hot-path methods (which receive the communicator id of
+        the actual call), ``comm_id`` defaults to :data:`WORLD_ID` — runs
+        execute on the world communicator, so that is the tuning table a
+        user asking "what would this engine pick?" means; pass
+        ``comm_id=None`` to inspect the table-free decision."""
+        algo, source, rule = self._decide(op, p=p, nbytes=nbytes,
+                                          comm_id=comm_id, scoped=scoped)
+        return Decision(op=op, algorithm=algo.name, source=source, p=p,
+                        nbytes=nbytes, comm_id=comm_id, rule=rule)
+
+    def _decide(self, op: str, *, p: int, nbytes: int,
+                comm_id: Hashable,
+                scoped: Optional[Sequence[TuningRule]],
+                ) -> tuple[Algorithm, str, Optional[TuningRule]]:
         forced = self._forced.get(op)
         if forced is not None:
-            return forced
-        rules = scoped if scoped is not None else self._tuning.get((comm_id, op))
+            return forced, "forced", None
+        if scoped is not None:
+            rules, source = scoped, "scoped"
+        else:
+            rules = self._tuning.get((comm_id, op))
+            source = self._tuning_source.get((comm_id, op), "tuned")
         if rules is not None:
             for max_bytes, name in rules:
                 if max_bytes is None or nbytes <= max_bytes:
-                    return _registry.get(op, name)
+                    return _registry.get(op, name), source, (max_bytes, name)
         if self.policy == "costmodel":
-            return self._argmin(op, p, nbytes)
-        return _registry.default(op)
+            return self._argmin(op, p, nbytes), "costmodel", None
+        return _registry.default(op), "default", None
 
     def _argmin(self, op: str, p: int, nbytes: int) -> Algorithm:
         # Iterate default-first with a strict '<' so ties keep the seed
@@ -217,5 +327,9 @@ class CollectiveEngine:
             "tuning": {
                 f"{comm_id}/{op}": list(rules)
                 for (comm_id, op), rules in self._tuning.items()
+            },
+            "tuning_sources": {
+                f"{comm_id}/{op}": source
+                for (comm_id, op), source in self._tuning_source.items()
             },
         }

@@ -11,9 +11,19 @@ concatenation of the reduce and bcast fragments, and the fragment tests pin
 that identity here rather than re-deriving it in every pass.
 
 Access via :meth:`repro.mpi.algorithms.Algorithm.fragment` or
-:func:`fragment` directly.  Only pattern-static algorithms are mapped;
-payload-dependent schedules (e.g. ``allreduce/ring``'s array-eligibility
-branch) raise :class:`KeyError` — callers treat that as "opaque".
+:func:`fragment` directly.  Only pattern-static algorithms are mapped.
+Algorithms whose wire schedule depends on *payload properties* the
+``(p, rank, root)`` signature cannot see are listed in :data:`UNSOUND` and
+raise :class:`FragmentUnsound` — a :class:`KeyError` subclass, so callers
+that treat a missing fragment as "opaque" keep working, while the explicit
+marking stops anyone from "completing" the table with a schedule that is
+wrong for half the payload space.  The canonical case is ``allreduce/ring``:
+its eligibility branch silently falls back to ``reduce_bcast`` unless the
+value is a commutative-op 1-D ndarray with at least ``p`` elements, so no
+single static fragment describes it.  :func:`fragment_soundness` reports the
+three-way status; the fuse passes stay conservative by matching recorded
+``algorithm`` provenance against fragments that exist, so unsound
+algorithms are never rewritten.
 """
 
 from __future__ import annotations
@@ -136,18 +146,65 @@ FRAGMENTS: Dict[Tuple[str, str], FragmentFn] = {
 }
 
 
+class FragmentUnsound(KeyError):
+    """No static fragment can exist for this algorithm (see :data:`UNSOUND`).
+
+    Subclasses :class:`KeyError` so existing "opaque algorithm" handling
+    (``except KeyError``) keeps working unchanged."""
+
+
+#: algorithms whose schedule depends on payload properties invisible to the
+#: static ``(p, rank, root)`` signature, mapped to the reason.  Listing an
+#: algorithm here is a *permanent* marking, not a TODO: adding a static
+#: fragment for one of these would hand the rewrite passes a schedule that
+#: is wrong for part of the payload space.
+UNSOUND: Dict[Tuple[str, str], str] = {
+    ("allreduce", "ring"): (
+        "payload-dependent eligibility: runs the ring schedule only for a "
+        "commutative-op 1-D ndarray with >= p elements, silently falling "
+        "back to reduce_bcast otherwise"
+    ),
+}
+
+
 def fragment(collective: str, name: str, p: int, rank: int,
              root: int = 0) -> Tuple[P2P, ...]:
     """The static P2P schedule of ``collective/name`` on one rank.
 
-    Raises :class:`KeyError` for algorithms whose schedule is not
-    pattern-static (or simply not mapped yet)."""
+    Raises :class:`FragmentUnsound` for algorithms marked payload-dependent
+    in :data:`UNSOUND`, and plain :class:`KeyError` for algorithms simply
+    not mapped yet; callers treat both as "opaque"."""
     if not 0 <= rank < p:
         raise RawUsageError(f"rank {rank} out of range for p={p}")
     if not 0 <= root < p:
         raise RawUsageError(f"root {root} out of range for p={p}")
+    reason = UNSOUND.get((collective, name))
+    if reason is not None:
+        raise FragmentUnsound(
+            f"{collective}/{name} has no static fragment: {reason}")
     return FRAGMENTS[(collective, name)](p, rank, root)
 
 
 def has_fragment(collective: str, name: str) -> bool:
     return (collective, name) in FRAGMENTS
+
+
+def fragment_soundness(collective: str, name: str) -> str:
+    """Three-way fragment status of one registered algorithm.
+
+    ``"static"``: a fragment exists and is trustworthy ground truth;
+    ``"unsound"``: no static fragment can exist (payload-dependent branch);
+    ``"unmapped"``: pattern-static but nobody has written the fragment."""
+    if (collective, name) in FRAGMENTS:
+        return "static"
+    if (collective, name) in UNSOUND:
+        return "unsound"
+    return "unmapped"
+
+
+# A key in both tables would be a contradiction (one side must be wrong);
+# fail at import so the mistake cannot ship.
+_conflict = FRAGMENTS.keys() & UNSOUND.keys()
+if _conflict:
+    raise RawUsageError(
+        f"algorithms marked both static and fragment-unsound: {_conflict}")

@@ -18,6 +18,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Sequence
 
+from repro.mpi.constants import WORLD_ID
 from repro.mpi.costmodel import Clock, CostModel
 from repro.mpi.engine import CollectiveEngine
 from repro.mpi.errors import RawDeadlockError, RawUsageError
@@ -32,8 +33,6 @@ from repro.mpi.sanitizer import (
 )
 from repro.mpi.tracing import NULL_TRACER, NullTraceRecorder, TraceEvent, TraceRecorder
 from repro.mpi.waiting import Backoff
-
-WORLD_ID: Hashable = "world"
 
 
 class CommState:
@@ -97,6 +96,9 @@ class RunResult:
     #: an :class:`~repro.mpi.ir.driver.IRReport` with the recorded epoch,
     #: pass results, and — under ``ir="optimize"`` — the verified replay
     ir: Optional[Any] = None
+    #: the :class:`~repro.mpi.autotune.AutoTuner` that observed this run
+    #: (``None`` unless the run enabled autotuning)
+    autotune: Optional[Any] = None
 
     @property
     def max_time(self) -> float:
@@ -292,7 +294,8 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             faults=None,
             backend: Optional[str | "Backend"] = None,
             ir: Optional[str] = None,
-            ir_passes: Optional[Sequence[str]] = None) -> RunResult:
+            ir_passes: Optional[Sequence[str]] = None,
+            autotune: Any = None) -> RunResult:
     """Execute ``fn(comm, *args)`` on ``num_ranks`` ranks and collect results.
 
     ``fn`` receives the rank's raw world communicator
@@ -344,21 +347,50 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     (:mod:`repro.mpi.ir.passes`; restrict with ``ir_passes`` or the
     ``REPRO_IR_PASSES``/``REPRO_IR_DISABLE`` env vars) and replays the
     optimized graph, verifying it bit-identical against the recording.
+
+    ``autotune`` closes the measure→fit→install loop
+    (:mod:`repro.mpi.autotune`; default: the ``REPRO_AUTOTUNE`` env var):
+    pass ``True``, a store path, or an
+    :class:`~repro.mpi.autotune.AutoTuner`.  Learned tuning rules for this
+    run's communicator size are installed before the run (warm start — the
+    engine is created if needed), the run is traced, its collective timings
+    are folded back into the tuner, and the store is re-persisted; the tuner
+    rides along as ``result.autotune``.  ``autotune=False`` disables even
+    when the env var is set.
     """
+    tuner = None
+    if autotune is not None or os.environ.get("REPRO_AUTOTUNE"):
+        from repro.mpi.autotune import resolve_autotune
+
+        tuner = resolve_autotune(autotune)
+    if tuner is not None:
+        if engine is None:
+            engine = CollectiveEngine(
+                cost_model if cost_model is not None else CostModel())
+        tuner.install(engine, p=num_ranks)
+        if trace is False:
+            trace = True
     mode = ir if ir is not None else os.environ.get("REPRO_IR")
     if mode and mode != "off":
         from repro.mpi.ir.driver import run_with_ir
 
-        return run_with_ir(
+        result = run_with_ir(
             fn, num_ranks, mode=mode, ir_passes=ir_passes, args=args,
             cost_model=cost_model, deadline=deadline, trace=trace,
             engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
             faults=faults, backend=backend,
         )
-    from repro.mpi.backends import resolve_backend
+    else:
+        from repro.mpi.backends import resolve_backend
 
-    return resolve_backend(backend).run(
-        fn, num_ranks, args=args, cost_model=cost_model, deadline=deadline,
-        trace=trace, engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
-        faults=faults,
-    )
+        result = resolve_backend(backend).run(
+            fn, num_ranks, args=args, cost_model=cost_model,
+            deadline=deadline, trace=trace, engine=engine, sanitize=sanitize,
+            fuzz_seed=fuzz_seed, faults=faults,
+        )
+    if tuner is not None:
+        tuner.observe(result)
+        if tuner.path is not None:
+            tuner.save()
+        result.autotune = tuner
+    return result

@@ -324,6 +324,91 @@ class TestEngineSelection:
         with pytest.raises(RawUsageError, match="exactly one"):
             eng.tune("c", "bcast")
 
+    def test_rule_boundary_is_inclusive(self):
+        # nbytes == max_bytes takes the rule: thresholds are inclusive upper
+        # bounds, pinned here so learned tables and hand-tuned tables agree
+        # on who owns the boundary byte
+        eng = _engine()
+        eng.tune("c", "bcast", rules=[(1024, "binomial"), (None, "linear")])
+        assert eng.resolve("bcast", p=8, nbytes=1024, comm_id="c").name == \
+            "binomial"
+        assert eng.resolve("bcast", p=8, nbytes=1025, comm_id="c").name == \
+            "linear"
+        assert eng.resolve("bcast", p=8, nbytes=0, comm_id="c").name == \
+            "binomial"
+        # a zero-threshold bucket still owns exactly nbytes == 0
+        eng.tune("c", "bcast", rules=[(0, "linear"), (None, "binomial")])
+        assert eng.resolve("bcast", p=8, nbytes=0, comm_id="c").name == "linear"
+        assert eng.resolve("bcast", p=8, nbytes=1, comm_id="c").name == \
+            "binomial"
+
+    def test_rules_are_canonicalized_on_install(self):
+        # Pre-fix, this unsorted list silently resolved first-match: the
+        # catch-all shadowed the 1 KiB bucket for *every* call.  Install now
+        # sorts (None last), so both buckets are live.
+        eng = _engine()
+        eng.tune("c", "bcast", rules=[(None, "linear"), (1024, "binomial")])
+        assert eng.rules("c", "bcast") == ((1024, "binomial"), (None, "linear"))
+        assert eng.resolve("bcast", p=8, nbytes=100, comm_id="c").name == \
+            "binomial"
+        assert eng.resolve("bcast", p=8, nbytes=4096, comm_id="c").name == \
+            "linear"
+
+    def test_overlapping_or_invalid_rules_are_rejected(self):
+        eng = _engine()
+        with pytest.raises(RawUsageError, match="duplicate max_bytes=1024"):
+            eng.tune("c", "bcast",
+                     rules=[(1024, "binomial"), (1024, "linear")])
+        with pytest.raises(RawUsageError, match="duplicate catch-all"):
+            eng.tune("c", "bcast",
+                     rules=[(None, "binomial"), (None, "linear")])
+        with pytest.raises(RawUsageError, match="must be >= 0"):
+            eng.tune("c", "bcast", rules=[(-1, "binomial")])
+        with pytest.raises(RawUsageError, match="must be int or None"):
+            eng.tune("c", "bcast", rules=[(10.5, "binomial")])
+        with pytest.raises(RawUsageError, match="empty tuning-rule list"):
+            eng.tune("c", "bcast", rules=[])
+        # nothing was installed by the failed attempts
+        assert eng.rules("c", "bcast") is None
+
+    def test_install_tuning_records_provenance(self):
+        eng = _engine()
+        eng.tune("c", "bcast", algorithm="linear")
+        eng.install_tuning("c", "reduce", "linear", source="learned")
+        with pytest.raises(RawUsageError, match="unknown tuning source"):
+            eng.install_tuning("c", "scan", "linear", source="psychic")
+        assert eng.explain("bcast", p=8, comm_id="c").source == "tuned"
+        d = eng.explain("reduce", p=8, comm_id="c")
+        assert d.source == "learned" and d.algorithm == "linear"
+        assert d.rule == (None, "linear")
+        assert eng.explain("bcast", p=8, comm_id="other").source == "default"
+        forced = _engine(overrides={"bcast": "linear"})
+        assert forced.explain("bcast", p=8).source == "forced"
+        argmin = _engine(policy="costmodel")
+        assert argmin.explain("allgather", p=8, nbytes=64).source == "costmodel"
+        scoped = eng.explain("bcast", p=8, comm_id="c",
+                             scoped=((None, "binomial"),))
+        assert scoped.source == "scoped" and scoped.algorithm == "binomial"
+        # untune clears the provenance with the rules
+        eng.untune("c")
+        assert eng.describe()["tuning_sources"] == {}
+
+    def test_decision_recording_is_opt_in(self):
+        eng = _engine()
+        eng.resolve("bcast", p=8)
+        assert eng.decisions == []
+        eng.record_decisions = True
+        eng.install_tuning("c", "bcast", "linear", source="learned")
+        eng.resolve("bcast", p=8, comm_id="c")
+        eng.resolve("allgather", p=4)
+        assert [(d.op, d.algorithm, d.source) for d in eng.decisions] == [
+            ("bcast", "linear", "learned"),
+            ("allgather", "bruck", "default"),
+        ]
+        # peek stays side-effect-free
+        eng.peek("bcast", p=8, comm_id="c")
+        assert len(eng.decisions) == 2
+
     def test_size_sensitivity_gates_payload_sizing(self):
         # zero-overhead principle: the pure-default hot path never sizes
         eng = _engine()
@@ -409,6 +494,31 @@ class TestUseAlgorithms:
         res = run_kamping(main, 4, cost_model=FREE, trace=True,
                           engine=_engine())
         assert res.algorithms_used()["allgather"] == ("gather_bcast", "ring")
+
+    def test_scoped_rules_are_canonicalized_too(self):
+        # the same canonicalization install_tuning applies: an unsorted
+        # scope (catch-all written first) must not shadow the small bucket
+        def main(comm):
+            with comm.use_algorithms(
+                    allgather=[(None, "gather_bcast"), (2 * 8, "ring")]):
+                small = comm.allgather(send_buf(np.int64(comm.rank)))
+                big = comm.allgather(
+                    send_buf(np.full(64, comm.rank, dtype=np.int64)))
+            return np.asarray(small).tolist(), len(big)
+
+        res = run_kamping(main, 4, cost_model=FREE, trace=True,
+                          engine=_engine())
+        assert res.algorithms_used()["allgather"] == ("gather_bcast", "ring")
+
+    def test_scoped_overlapping_rules_raise(self):
+        def main(comm):
+            with pytest.raises(UsageError, match="overlapping tuning rules"):
+                with comm.use_algorithms(allgather=[(8, "ring"),
+                                                    (8, "gather_bcast")]):
+                    pass
+            return True
+
+        assert all(run_kamping(main, 2, cost_model=FREE).values)
 
     def test_nesting_restores_outer_selection(self):
         def main(comm):
