@@ -15,6 +15,7 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         args: Sequence[Any] = (),
         cost_model: Optional[CostModel] = None,
         deadline: float = 120.0,
+        timeout: Optional[float] = None,
         comm_class: Type[Communicator] = Communicator,
         trace: bool | TraceRecorder = False,
         engine: Optional[CollectiveEngine] = None,
@@ -30,6 +31,8 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
     Like :func:`repro.mpi.run_mpi`, but each rank receives a wrapped
     :class:`~repro.core.communicator.Communicator` (optionally a plugin-
     extended subclass via ``comm_class``) instead of the raw handle.
+    ``timeout`` arms the run watchdog (a hung run raises
+    :class:`~repro.mpi.errors.RunTimeout` with per-rank stack dumps);
     ``trace=True`` records the structured communication trace
     (:class:`~repro.mpi.tracing.TraceRecorder`) as ``result.trace``;
     ``engine`` overrides the collective algorithm selection (see
@@ -54,7 +57,7 @@ def run(fn: Callable[..., Any], num_ranks: int, *,
         return fn(comm_class(raw), *fn_args)
 
     return run_mpi(entry, num_ranks, args=args, cost_model=cost_model,
-                   deadline=deadline, trace=trace, engine=engine,
-                   sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults,
-                   backend=backend, ir=ir, ir_passes=ir_passes,
-                   autotune=autotune)
+                   deadline=deadline, timeout=timeout, trace=trace,
+                   engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
+                   faults=faults, backend=backend, ir=ir,
+                   ir_passes=ir_passes, autotune=autotune)

@@ -28,6 +28,7 @@ from repro.mpi.errors import (
     RawProcessFailure,
     RawTruncationError,
     RawUsageError,
+    RunTimeout,
     UnsupportedOnBackend,
 )
 from repro.mpi.failures import FailureScript, no_failures
@@ -84,7 +85,7 @@ __all__ = [
     "BAND", "BOR", "BXOR", "BUILTIN_OPS", "user_op",
     "Status", "RawRequest", "waitall", "testall", "waitany",
     "RawMpiError", "RawUsageError", "RawTruncationError", "RawDeadlockError",
-    "RawProcessFailure", "RawCommRevoked", "ProcessKilled",
+    "RawProcessFailure", "RawCommRevoked", "ProcessKilled", "RunTimeout",
     "UnsupportedOnBackend",
     "Backend", "ThreadBackend", "ProcessBackend", "BACKENDS",
     "resolve_backend",

@@ -43,6 +43,7 @@ class Backend:
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
+            timeout: Optional[float] = None,
             trace: bool | TraceRecorder = False,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
@@ -52,7 +53,8 @@ class Backend:
 
         The keyword surface is exactly :func:`repro.mpi.run_mpi`'s; a backend
         that cannot honor a *requested* feature (an explicit ``sanitize=True``
-        rather than an ambient env default, a ``faults`` campaign, …) raises
+        rather than an ambient env default, a ``faults`` campaign, a
+        ``timeout=`` watchdog, …) raises
         :class:`~repro.mpi.errors.UnsupportedOnBackend` before spawning
         anything.
         """

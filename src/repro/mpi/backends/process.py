@@ -519,6 +519,7 @@ class ProcessBackend(Backend):
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
+            timeout: Optional[float] = None,
             trace: bool | TraceRecorder = False,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
@@ -529,6 +530,12 @@ class ProcessBackend(Backend):
         # Explicit requests for thread-only features fail loudly up front.
         # sanitize=None means "env default", which this backend ignores (see
         # the module docstring); only a literal True is a hard request.
+        if timeout is not None:
+            # the watchdog's value is the per-rank stack dumps, and
+            # sys._current_frames() cannot see another OS process's threads
+            raise UnsupportedOnBackend(
+                unsupported("timeout", "the run watchdog with per-rank "
+                            "stack dumps (timeout=...)"))
         if sanitize:
             raise UnsupportedOnBackend(
                 unsupported("sanitize", "MPIsan resource auditing "

@@ -13,13 +13,20 @@ backend is differentially tested against (``tests/backends/``).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Optional, Sequence
 
 from repro.mpi.backends.base import Backend
 from repro.mpi.costmodel import CostModel
 from repro.mpi.engine import CollectiveEngine
-from repro.mpi.errors import ProcessKilled, RawDeadlockError
+from repro.mpi.errors import (
+    ProcessKilled,
+    RawDeadlockError,
+    RawUsageError,
+    RunTimeout,
+)
 from repro.mpi.machine import Machine, RunResult, _emit_leak_events
+from repro.mpi.watchdog import format_stacks, thread_stacks
 from repro.mpi.sanitizer import (
     LeakReport,
     ResourceAuditor,
@@ -40,12 +47,16 @@ class ThreadBackend(Backend):
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
+            timeout: Optional[float] = None,
             trace: bool | TraceRecorder = False,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
             fuzz_seed: Optional[int] = None,
             faults: Any = None) -> RunResult:
         from repro.mpi.context import RawComm
+
+        if timeout is not None and timeout <= 0:
+            raise RawUsageError(f"timeout must be > 0 seconds, got {timeout}")
 
         tracer: Optional[TraceRecorder]
         if isinstance(trace, TraceRecorder):
@@ -86,10 +97,26 @@ class ThreadBackend(Backend):
         ]
         for t in threads:
             t.start()
+        # the run watchdog (timeout=) bounds the *whole run* in real seconds
+        # and replaces the per-thread deadlock join budget; either way a rank
+        # that never terminates becomes a diagnosable error, not a hang
+        expiry = (time.monotonic() + timeout) if timeout is not None else None
         for t in threads:
-            t.join(timeout=deadline + 30.0)
-            if t.is_alive():
-                raise RawDeadlockError(f"{t.name} did not terminate (deadlock?)")
+            if expiry is None:
+                t.join(timeout=deadline + 30.0)
+                if t.is_alive():
+                    raise RawDeadlockError(
+                        f"{t.name} did not terminate (deadlock?)")
+            else:
+                t.join(timeout=max(expiry - time.monotonic(), 0.0))
+                if t.is_alive():
+                    stacks = thread_stacks(threads)
+                    raise RunTimeout(
+                        f"run exceeded its {timeout:g}s watchdog; "
+                        f"{len(stacks)} rank(s) still running. Per-rank "
+                        f"stacks:\n{format_stacks(stacks)}",
+                        stacks,
+                    )
 
         # Prefer primary errors: a rank dying in a collective makes its peers
         # hit the deadlock deadline, but the root cause is the original

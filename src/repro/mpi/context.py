@@ -62,6 +62,9 @@ class RawComm:
         #: IR-pass provenance stamped on trace spans (set by the IR replayer
         #: around ops that a rewrite pass produced; ``None`` everywhere else)
         self._ir_pass: Optional[str] = None
+        #: cluster-service job label stamped on trace spans (set by a service
+        #: rank around the ops of a leased job; ``None`` everywhere else)
+        self._job_label: Optional[str] = None
 
     # -- introspection -----------------------------------------------------
 
@@ -110,7 +113,8 @@ class RawComm:
         if payload is not None:
             sent = _sum_payload_bytes(payload)
         return tracer.span(self, op, peers=peers, tag=tag, sent=sent,
-                           algorithm=algorithm, ir_pass=self._ir_pass)
+                           algorithm=algorithm, ir_pass=self._ir_pass,
+                           job=self._job_label)
 
     def _coll_algo(self, op: str, payload: Any = None, hint=None) -> Algorithm:
         """Resolve which algorithm runs one collective call.

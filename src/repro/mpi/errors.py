@@ -42,6 +42,23 @@ class RawDeadlockError(RawMpiError):
     """
 
 
+class RunTimeout(RawMpiError):
+    """A whole run exceeded its real-time budget (``run_mpi(..., timeout=)``).
+
+    Unlike :class:`RawDeadlockError` — raised when one *blocking operation*
+    outlives the machine deadline — this is the run-level watchdog: the
+    caller bounds the wall-clock time of the entire ``run_mpi`` call, and on
+    expiry the per-rank stack dumps of the still-running ranks ride along as
+    :attr:`stacks` (and in the message), so a wedged rank is diagnosable
+    without attaching a debugger.
+    """
+
+    def __init__(self, message: str, stacks: "dict[str, str] | None" = None):
+        #: ``{thread name: formatted stack}`` of ranks alive at expiry
+        self.stacks: dict[str, str] = dict(stacks or {})
+        super().__init__(message)
+
+
 class RawProcessFailure(RawMpiError):
     """A peer process involved in the operation has failed (ULFM ``MPI_ERR_PROC_FAILED``)."""
 

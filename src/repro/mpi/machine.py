@@ -287,6 +287,7 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
             args: Sequence[Any] = (),
             cost_model: Optional[CostModel] = None,
             deadline: float = 120.0,
+            timeout: Optional[float] = None,
             trace: bool | TraceRecorder = False,
             engine: Optional[CollectiveEngine] = None,
             sanitize: Optional[bool] = None,
@@ -312,6 +313,15 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
     fuzzer, RMA, ULFM) raise
     :class:`~repro.mpi.errors.UnsupportedOnBackend`.  See
     :mod:`repro.mpi.backends` and DESIGN §12.
+
+    ``timeout`` arms the run watchdog: if the whole run has not finished
+    after that many *real* seconds, it raises
+    :class:`~repro.mpi.errors.RunTimeout` carrying the per-rank stack dumps
+    of the still-running ranks (:mod:`repro.mpi.watchdog`) — the library
+    version of the test suite's conftest watchdog, so a wedged run fails
+    loudly instead of stalling its caller.  Thread backend only: the process
+    backend cannot dump another OS process's stacks and refuses the
+    parameter.
 
     ``trace=True`` records a structured per-rank event trace (one event per
     raw MPI call) available as ``result.trace``; pass an existing
@@ -376,17 +386,17 @@ def run_mpi(fn: Callable[..., Any], num_ranks: int, *,
 
         result = run_with_ir(
             fn, num_ranks, mode=mode, ir_passes=ir_passes, args=args,
-            cost_model=cost_model, deadline=deadline, trace=trace,
-            engine=engine, sanitize=sanitize, fuzz_seed=fuzz_seed,
-            faults=faults, backend=backend,
+            cost_model=cost_model, deadline=deadline, timeout=timeout,
+            trace=trace, engine=engine, sanitize=sanitize,
+            fuzz_seed=fuzz_seed, faults=faults, backend=backend,
         )
     else:
         from repro.mpi.backends import resolve_backend
 
         result = resolve_backend(backend).run(
             fn, num_ranks, args=args, cost_model=cost_model,
-            deadline=deadline, trace=trace, engine=engine, sanitize=sanitize,
-            fuzz_seed=fuzz_seed, faults=faults,
+            deadline=deadline, timeout=timeout, trace=trace, engine=engine,
+            sanitize=sanitize, fuzz_seed=fuzz_seed, faults=faults,
         )
     if tuner is not None:
         tuner.observe(result)

@@ -65,6 +65,9 @@ class TraceEvent:
     #: name of the IR rewrite pass that produced this op, when the run is an
     #: IR replay of an optimized epoch (``None``: op as the program wrote it)
     ir_pass: Optional[str] = None
+    #: cluster-service job label the op was issued on behalf of, when the
+    #: run is a service rank executing a leased job (``None``: not job work)
+    job: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -102,12 +105,13 @@ class _Span:
     """Mutable recording handle for one in-flight operation."""
 
     __slots__ = ("_recorder", "_comm", "op", "_peers", "tag", "sent", "recvd",
-                 "algorithm", "ir_pass", "_t_start")
+                 "algorithm", "ir_pass", "job", "_t_start")
 
     def __init__(self, recorder: "TraceRecorder", comm, op: str,
                  peers: Sequence[int], tag: Optional[int], sent: int,
                  algorithm: Optional[str] = None,
-                 ir_pass: Optional[str] = None):
+                 ir_pass: Optional[str] = None,
+                 job: Optional[str] = None):
         self._recorder = recorder
         self._comm = comm
         self.op = op
@@ -119,6 +123,7 @@ class _Span:
         self.recvd = 0
         self.algorithm = algorithm
         self.ir_pass = ir_pass
+        self.job = job
         self._t_start = 0.0
 
     def set(self, *, peers: Optional[Sequence[int]] = None,
@@ -176,6 +181,7 @@ class _Span:
             t_end=comm.clock.now,
             algorithm=self.algorithm,
             ir_pass=self.ir_pass,
+            job=self.job,
         ))
         return False
 
@@ -212,7 +218,8 @@ class NullTraceRecorder:
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
              tag: Optional[int] = None, sent: int = 0,
              algorithm: Optional[str] = None,
-             ir_pass: Optional[str] = None) -> _NullSpan:
+             ir_pass: Optional[str] = None,
+             job: Optional[str] = None) -> _NullSpan:
         return _NULL_SPAN
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
@@ -224,6 +231,9 @@ class NullTraceRecorder:
         return ()
 
     def all_events(self) -> list:
+        return []
+
+    def events_for_job(self, job: str) -> list:
         return []
 
     def per_op_totals(self) -> dict:
@@ -252,9 +262,11 @@ class TraceRecorder:
     def span(self, comm, op: str, *, peers: Sequence[int] = (),
              tag: Optional[int] = None, sent: int = 0,
              algorithm: Optional[str] = None,
-             ir_pass: Optional[str] = None) -> _Span:
+             ir_pass: Optional[str] = None,
+             job: Optional[str] = None) -> _Span:
         """Open a recording span; the event is appended when it exits."""
-        return _Span(self, comm, op, peers, tag, sent, algorithm, ir_pass)
+        return _Span(self, comm, op, peers, tag, sent, algorithm, ir_pass,
+                     job)
 
     def record(self, comm, op: str, *, t_start: float, t_end: float,
                peers: Sequence[int] = (), tag: Optional[int] = None,
@@ -283,6 +295,15 @@ class TraceRecorder:
         merged = [e for per_rank in self._events for e in per_rank]
         merged.sort(key=lambda e: (e.t_start, e.world_rank, e.t_end))
         return merged
+
+    def events_for_job(self, job: str) -> list[TraceEvent]:
+        """Every event issued on behalf of one cluster-service job.
+
+        Per-job trace scoping: service ranks stamp the job label on ops they
+        run inside a leased communicator, so one shared recorder can be
+        sliced back into per-job traces (ordered like :meth:`all_events`).
+        """
+        return [e for e in self.all_events() if e.job == job]
 
     def per_op_totals(self, *, by_algorithm: bool = False
                       ) -> dict[str, dict[str, float]]:
@@ -399,6 +420,8 @@ class TraceRecorder:
                 args["size_bucket"] = size_bucket(e.nbytes)
             if e.ir_pass is not None:
                 args["ir_pass"] = e.ir_pass
+            if e.job is not None:
+                args["job"] = e.job
             if e.op.startswith("timer:"):
                 cat = "timer"
             elif e.op.startswith("leak:"):

@@ -1,0 +1,51 @@
+"""Run-level watchdog: per-rank stack dumps for hung runs.
+
+The test suite has always guarded itself with a thread-join watchdog
+(``tests/conftest.py``); this module promotes that idiom into the library so
+*any* caller — ``run_mpi(..., timeout=seconds)``, the cluster service's
+per-job watchdog — can convert a hung run into a diagnosable
+:class:`~repro.mpi.errors.RunTimeout` instead of a stall.
+
+The one capability this needs is a shared address space:
+:func:`sys._current_frames` only sees threads of the calling process, which
+is why the run watchdog is a thread-backend feature (the process backend
+refuses ``timeout=`` with its usual pinned
+:class:`~repro.mpi.errors.UnsupportedOnBackend` message).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from typing import Iterable
+
+
+def thread_stacks(threads: Iterable[threading.Thread]) -> dict[str, str]:
+    """Formatted stacks of the given threads that are still alive.
+
+    Returns ``{thread name: multi-line stack}``, innermost frame last (the
+    usual traceback orientation).  Threads that finished between the caller's
+    liveness check and the frame snapshot are silently absent.
+    """
+    frames = sys._current_frames()
+    stacks: dict[str, str] = {}
+    for t in threads:
+        if not t.is_alive():
+            continue
+        frame = frames.get(t.ident)
+        if frame is None:
+            continue
+        stacks[t.name] = "".join(traceback.format_stack(frame)).rstrip()
+    return stacks
+
+
+def format_stacks(stacks: dict[str, str]) -> str:
+    """Render a stack-dump dict as one indented report block."""
+    if not stacks:
+        return "  (no rank threads alive at expiry)"
+    blocks = []
+    for name in sorted(stacks):
+        body = "\n".join(f"    {line}" for line in stacks[name].splitlines())
+        blocks.append(f"  --- {name} ---\n{body}")
+    return "\n".join(blocks)

@@ -78,17 +78,34 @@ class ResilientScope:
     """
 
     def __init__(self, comm, shards: Shards, *, label: str = "resilient",
-                 max_retries: int = 8, backoff_initial: float = 1e-3,
-                 backoff_cap: float = 5e-2):
+                 max_retries: int = 8, max_attempts: Optional[int] = None,
+                 deadline: Optional[float] = None,
+                 backoff_initial: float = 1e-3, backoff_cap: float = 5e-2):
         if not hasattr(comm, "agree"):
             raise KampingError(
                 "ResilientScope needs a ULFM-extended communicator "
                 "(extend(Communicator, ULFM))"
             )
+        if max_attempts is not None and max_attempts < 1:
+            raise KampingError(
+                f"max_attempts must be >= 1 (the first try counts as an "
+                f"attempt), got {max_attempts}"
+            )
+        if deadline is not None and deadline <= 0:
+            raise KampingError(
+                f"deadline must be > 0 seconds, got {deadline}"
+            )
         self.comm = comm
         self.shards: Shards = list(shards)
         self.label = label
         self.max_retries = max_retries
+        #: total attempt budget per epoch (first try included); ``None``
+        #: derives the budget from the legacy ``max_retries`` (retries after
+        #: the first try), keeping existing callers bit-compatible
+        self.max_attempts = max_attempts
+        #: real-seconds budget per :meth:`run` call (``None`` = unbounded);
+        #: checked between attempts, so an in-flight attempt is never cut
+        self.deadline = deadline
         self.backoff_initial = backoff_initial
         self.backoff_cap = backoff_cap
         #: number of committed epochs (the genesis commit is epoch 0, so
@@ -120,8 +137,17 @@ class ResilientScope:
         mutated in place).  It may raise — or its peers may observe —
         :class:`MPIFailureDetected` at any point; any other exception
         propagates unhandled.
+
+        The retry policy is what the scope was constructed with: the epoch
+        is retried until it commits, the attempt budget (``max_attempts``,
+        legacy default ``max_retries + 1``) runs out, or the per-``run``
+        real-time ``deadline`` expires — both exhaustion paths raise
+        :class:`RecoveryFailed`.
         """
         attempts = 0
+        budget = (self.max_attempts if self.max_attempts is not None
+                  else self.max_retries + 1)
+        started = time.monotonic()
         sleep = self.backoff_initial
         while True:
             comm = self.comm
@@ -142,10 +168,23 @@ class ResilientScope:
                 self._commit(comm, result, incoming)
                 return self.shards
             attempts += 1
-            if attempts > self.max_retries:
+            if attempts >= budget:
+                if self.max_attempts is not None:
+                    raise RecoveryFailed(
+                        f"scope {self.label!r}: epoch {self.committed} "
+                        f"exhausted its attempt budget "
+                        f"(max_attempts={self.max_attempts})"
+                    )
                 raise RecoveryFailed(
                     f"scope {self.label!r}: epoch {self.committed} still "
                     f"failing after {self.max_retries} recoveries"
+                )
+            if (self.deadline is not None
+                    and time.monotonic() - started >= self.deadline):
+                raise RecoveryFailed(
+                    f"scope {self.label!r}: epoch {self.committed} still "
+                    f"failing after {attempts} attempt(s) when the "
+                    f"{self.deadline:g}s recovery deadline expired"
                 )
             self._recover()
             time.sleep(sleep)
@@ -255,7 +294,9 @@ class ResilientScope:
 
 def run_resilient(comm, epoch_fn: EpochFn, shards: Shards, *,
                   epochs: int = 1, label: str = "resilient",
-                  max_retries: int = 8, backoff_initial: float = 1e-3,
+                  max_retries: int = 8, max_attempts: Optional[int] = None,
+                  deadline: Optional[float] = None,
+                  backoff_initial: float = 1e-3,
                   backoff_cap: float = 5e-2) -> ResilientScope:
     """Run ``epochs`` epochs of ``epoch_fn`` under a :class:`ResilientScope`.
 
@@ -266,9 +307,12 @@ def run_resilient(comm, epoch_fn: EpochFn, shards: Shards, *,
         survivors_result = scope.shards   # on scope.comm
 
     Returns the scope; the committed shards, the surviving communicator, and
-    the recovery history are its attributes.
+    the recovery history are its attributes.  ``max_attempts``/``deadline``
+    bound each epoch's recovery loop (per-epoch attempt budget and
+    real-seconds budget; see :class:`ResilientScope`).
     """
     scope = ResilientScope(comm, shards, label=label, max_retries=max_retries,
+                           max_attempts=max_attempts, deadline=deadline,
                            backoff_initial=backoff_initial,
                            backoff_cap=backoff_cap)
     for _ in range(epochs):

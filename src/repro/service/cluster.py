@@ -1,0 +1,809 @@
+"""The persistent cluster service: one machine, many jobs, elastic membership.
+
+A :class:`Cluster` owns a thread-backend machine's worth of ranks for its
+whole lifetime and runs a *stream* of jobs over them — the long-running
+service shape (parameter servers, simulation farms) that one-shot
+``run_mpi`` cannot express.  Four mechanisms compose:
+
+1. **Admission control** — submissions land in a bounded priority queue
+   (:class:`~repro.service.jobs.JobQueue`) and are rejected with
+   :class:`~repro.service.jobs.ClusterSaturated` beyond the high-water mark.
+2. **Communicator leasing** — jobs never touch the cluster's base
+   communicator; each directive runs on a dup'd sub-communicator slot from a
+   :class:`~repro.service.leases.LeasePool`, audited by the MPIsan ``lease``
+   resource kind and reported (with creation backtraces) at
+   :meth:`Cluster.shutdown`.
+3. **Request batching** — compatible small collective jobs are coalesced
+   into one shared collective (:mod:`repro.service.batching`), the IR
+   layer's ``batch_bcasts`` idea applied across jobs.
+4. **Elastic membership** — every membership generation runs under a
+   :class:`~repro.plugins.resilience.ResilientScope`: a failed rank is
+   revoked/shrunk/agreed away mid-stream and in-flight epochal jobs restart
+   from the last committed epoch off ring-buddy checkpoints; a joining spare
+   is admitted at the next directive boundary and receives replicated state
+   through the new generation's genesis commit.
+
+Coordination happens through a grow-only *directive log*: the client-side
+dispatcher appends directives (job groups with a lease, joins, shutdown) and
+every service rank consumes the log in order through its own cursor — so all
+ranks observe the identical sequence of collectives regardless of thread
+scheduling, which is what makes chaos runs bit-comparable to failure-free
+runs.
+
+SPMD contract for job functions: a ``submit()``'d ``fn(comm, *args)`` runs
+on *every* service rank.  Deterministic (SPMD-replicated) exceptions are
+captured per job and re-raised from ``JobHandle.result()``; an exception
+raised on only *some* ranks abandons collective peers and is caught by the
+``job_timeout`` watchdog, which fails the stream's outstanding handles with
+:class:`~repro.mpi.errors.RunTimeout` (per-rank stacks attached) and wedges
+the cluster.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.communicator import Communicator
+from repro.core.plugins import extend
+from repro.mpi.context import RawComm
+from repro.mpi.costmodel import CostModel
+from repro.mpi.engine import CollectiveEngine
+from repro.mpi.errors import (
+    ProcessKilled,
+    RawCommRevoked,
+    RawDeadlockError,
+    RawProcessFailure,
+    RunTimeout,
+    UnsupportedOnBackend,
+)
+from repro.mpi.machine import Machine, _emit_leak_events
+from repro.mpi.ops import Op
+from repro.mpi.sanitizer import (
+    LeakReport,
+    ResourceAuditor,
+    ResourceLeakError,
+    ScheduleFuzzer,
+    env_fuzz_seed_default,
+    env_sanitize_default,
+)
+from repro.mpi.tracing import NULL_TRACER, TraceRecorder
+from repro.mpi.watchdog import format_stacks, thread_stacks
+from repro.plugins.resilience import ResilientScope
+from repro.plugins.ulfm import ULFM, MPIFailureDetected
+from repro.service.batching import batch_label, run_batch, shape_of
+from repro.service.jobs import ClusterError, Job, JobHandle, JobQueue
+from repro.service.leases import CommLease, LeasePool
+
+#: the service's communicator class: full bindings + ULFM fault tolerance
+ClusterComm = extend(Communicator, ULFM)
+
+
+# -- the directive log -------------------------------------------------------
+
+@dataclass
+class _JobsDirective:
+    index: int
+    jobs: tuple[Job, ...]
+    lease: CommLease
+
+
+@dataclass
+class _JoinDirective:
+    index: int
+    world_rank: int
+
+
+@dataclass
+class _ShutdownDirective:
+    index: int
+
+
+class _DirectiveLog:
+    """Grow-only log + per-directive start/finish times for the watchdog."""
+
+    def __init__(self) -> None:
+        self.cv = threading.Condition()
+        self.log: list[Any] = []
+        self.started: dict[int, float] = {}
+        self.finished: set[int] = set()
+
+    def append(self, make: Callable[[int], Any]) -> Any:
+        with self.cv:
+            directive = make(len(self.log))
+            self.log.append(directive)
+            self.cv.notify_all()
+            return directive
+
+    def get(self, index: int, give_up: threading.Event) -> Optional[Any]:
+        """Block until directive ``index`` exists; ``None`` once wedged."""
+        with self.cv:
+            while len(self.log) <= index:
+                if give_up.is_set():
+                    return None
+                self.cv.wait()
+            return self.log[index]
+
+    def wake(self) -> None:
+        with self.cv:
+            self.cv.notify_all()
+
+    def mark_started(self, index: int) -> None:
+        with self.cv:
+            self.started.setdefault(index, time.monotonic())
+
+    def mark_finished(self, index: int) -> None:
+        with self.cv:
+            self.finished.add(index)
+
+    def overdue(self, budget: float) -> Optional[int]:
+        """Index of a directive running past ``budget`` seconds, if any."""
+        now = time.monotonic()
+        with self.cv:
+            for index, t0 in self.started.items():
+                if index not in self.finished and now - t0 > budget:
+                    return index
+        return None
+
+
+def _unsupported_backend(name: str) -> str:
+    return (
+        f"the cluster service is not supported on the {name!r} backend: "
+        f"elastic membership, fault injection, and communicator leasing "
+        f"rely on shared-process state; run with backend='thread'"
+    )
+
+
+class Cluster:
+    """A persistent pool of ranks executing a stream of jobs.
+
+    ::
+
+        with Cluster(4, spares=1, trace=True) as cluster:
+            h = cluster.submit_allreduce([1, 2, 3], op=SUM)
+            assert h.result() == 6
+            cluster.add_rank()              # grow at the next boundary
+            cluster.drain()
+
+    Constructor knobs (beyond the obvious): ``spares`` ranks are parked and
+    admitted by :meth:`add_rank`; ``queue_depth``/``high_water`` bound
+    admission; ``lease_slots`` sizes the communicator lease pool;
+    ``batch_limit`` caps coalesced groups; ``job_timeout`` arms the per-
+    directive watchdog; ``max_attempts``/``recovery_deadline`` bound each
+    epoch's recovery loop; ``hold_jobs=True`` parks the dispatcher until
+    :meth:`release_jobs` (lets tests enqueue a full stream first, making
+    batching and chaos runs deterministic).  Only the thread backend supports
+    the service; ``backend="process"`` is refused with
+    :class:`~repro.mpi.errors.UnsupportedOnBackend`.
+    """
+
+    def __init__(self, num_ranks: int, *, spares: int = 0,
+                 queue_depth: int = 64, high_water: Optional[int] = None,
+                 lease_slots: int = 2, batch_limit: int = 8,
+                 cost_model: Optional[CostModel] = None,
+                 deadline: float = 60.0,
+                 job_timeout: Optional[float] = None,
+                 max_attempts: Optional[int] = None,
+                 recovery_deadline: Optional[float] = None,
+                 trace: bool | TraceRecorder = False,
+                 engine: Optional[CollectiveEngine] = None,
+                 sanitize: Optional[bool] = None,
+                 fuzz_seed: Optional[int] = None,
+                 faults: Any = None,
+                 backend: Optional[str] = None,
+                 hold_jobs: bool = False):
+        backend_name = "thread" if backend is None else str(backend)
+        if backend_name != "thread":
+            raise UnsupportedOnBackend(_unsupported_backend(backend_name))
+        if num_ranks < 1:
+            raise ClusterError(f"num_ranks must be >= 1, got {num_ranks}")
+        if spares < 0:
+            raise ClusterError(f"spares must be >= 0, got {spares}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ClusterError(
+                f"job_timeout must be > 0 seconds, got {job_timeout}"
+            )
+
+        if isinstance(trace, TraceRecorder):
+            self.tracer = trace
+        else:
+            self.tracer = (TraceRecorder(num_ranks + spares) if trace
+                           else NULL_TRACER)
+        if sanitize is None:
+            sanitize = env_sanitize_default()
+        if fuzz_seed is None:
+            fuzz_seed = env_fuzz_seed_default()
+        auditor = ResourceAuditor() if sanitize else None
+        fuzzer = ScheduleFuzzer(fuzz_seed) if fuzz_seed is not None else None
+
+        capacity = num_ranks + spares
+        self.machine = Machine(
+            capacity, cost_model=cost_model, deadline=deadline,
+            tracer=self.tracer if self.tracer is not NULL_TRACER else None,
+            engine=engine, auditor=auditor, fuzzer=fuzzer, faults=faults,
+        )
+        self.num_ranks = num_ranks
+        self.capacity = capacity
+        self.lease_slots = lease_slots
+        self.batch_limit = batch_limit
+        self.job_timeout = job_timeout
+        self.max_attempts = max_attempts
+        self.recovery_deadline = recovery_deadline
+
+        self.queue = JobQueue(queue_depth, high_water)
+        self.pool = LeasePool(lease_slots, auditor=self.machine.auditor)
+        self._directives = _DirectiveLog()
+        self._fuzzer = fuzzer
+
+        self._lock = threading.Lock()
+        self._job_seq = 0
+        self._unsettled: set[JobHandle] = set()
+        self._drain_cv = threading.Condition(self._lock)
+        self._dispatch_cv = threading.Condition(self._lock)
+        self._held = bool(hold_jobs)
+        self._shutting_down = False
+        self._shutdown_report: Optional[LeakReport] = None
+        self._did_shutdown = False
+        self._join_requests: list[int] = []
+        self._spares = list(range(num_ranks, capacity))
+        self._wedged = threading.Event()
+        self._wedge_error: Optional[BaseException] = None
+
+        # admission board for parked spares: world_rank -> (cursor, members,
+        # generation), published idempotently by every active rank
+        self._admission: dict[int, tuple[int, tuple[int, ...], int]] = {}
+        self._admission_cv = threading.Condition()
+
+        # per-rank leased-communicator cache; pre-created so rank threads
+        # never mutate shared dict shape concurrently
+        self._rank_pools: dict[int, dict[str, Any]] = {
+            w: {"base": None, "comms": []} for w in range(capacity)
+        }
+
+        #: cumulative counters, updated under self._lock
+        self.stats: dict[str, Any] = {
+            "jobs_submitted": 0, "jobs_done": 0, "jobs_failed": 0,
+            "groups": 0, "batched_groups": 0, "recoveries": [],
+            "joins": [],
+        }
+
+        self._threads = [
+            threading.Thread(target=self._rank_main, args=(w,),
+                             name=f"rank-{w}", daemon=True)
+            for w in range(capacity)
+        ]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_main, name="cluster-dispatch", daemon=True)
+        self._monitor: Optional[threading.Thread] = None
+        if job_timeout is not None:
+            self._monitor = threading.Thread(
+                target=self._monitor_main, name="cluster-watchdog",
+                daemon=True)
+        for t in self._threads:
+            t.start()
+        self._dispatcher.start()
+        if self._monitor is not None:
+            self._monitor.start()
+
+    # -- client API: submission --------------------------------------------
+
+    def submit(self, fn: Callable, *args: Any, priority: int = 0,
+               label: Optional[str] = None) -> JobHandle:
+        """Queue ``fn(comm, *args)`` to run once on a leased communicator.
+
+        ``fn`` executes SPMD on every service rank; the job's result is the
+        return value of the rank at local rank 0.  For bit-identical results
+        across chaos-induced shrinks, write ``fn`` oblivious to ``comm.size``
+        (or use the collective submit helpers, which already are for closed
+        discrete domains).
+        """
+        return self._enqueue(kind="call", fn=fn, args=tuple(args),
+                             priority=priority, label=label)
+
+    def submit_epochs(self, epoch_fn: Callable, initial_states: Sequence, *,
+                      epochs: int = 1, priority: int = 0,
+                      label: Optional[str] = None) -> JobHandle:
+        """Queue an epoch-structured job with buddy-checkpointed state.
+
+        ``initial_states`` is a sequence of per-virtual-rank states,
+        distributed over the service ranks; ``epoch_fn(comm, mine, epoch)``
+        receives this rank's share as ``[(vkey, state), ...]`` and returns
+        the updated pairs.  Each epoch commits through the cluster's
+        resilient scope, so a mid-job failure replays only the current
+        epoch.  The result is the final states ordered by virtual key.
+        """
+        if epochs < 1:
+            raise ClusterError(f"epochs must be >= 1, got {epochs}")
+        return self._enqueue(kind="epochs", epoch_fn=epoch_fn,
+                             initial_states=tuple(initial_states),
+                             epochs=epochs, priority=priority, label=label)
+
+    def submit_bcast(self, payload: Any, *, root: int = 0, priority: int = 0,
+                     label: Optional[str] = None) -> JobHandle:
+        """Queue a broadcast job (batchable: shape ``("bcast", root)``)."""
+        if root < 0 or root >= self.num_ranks:
+            raise ClusterError(
+                f"bcast root must be a rank of the initial membership "
+                f"[0, {self.num_ranks}), got {root}"
+            )
+        return self._enqueue(kind="bcast", payload=payload, root=root,
+                             priority=priority, label=label)
+
+    def submit_allreduce(self, values: Sequence, *, op: Op,
+                         priority: int = 0,
+                         label: Optional[str] = None) -> JobHandle:
+        """Queue a reduction of ``values`` (batchable per-``op``).
+
+        The values are strided over the service ranks and reduced with
+        ``op``; the result is exact for closed discrete domains (ints under
+        SUM/MIN/MAX/...), where it is also bit-identical across membership
+        changes.
+        """
+        values = tuple(values)
+        if not values:
+            raise ClusterError("allreduce job needs at least one value")
+        if not isinstance(op, Op):
+            raise ClusterError(
+                f"op must be a repro.mpi Op (SUM, MIN, user_op(...)), "
+                f"got {type(op).__name__}"
+            )
+        return self._enqueue(kind="allreduce", values=values, op=op,
+                             priority=priority, label=label)
+
+    def _enqueue(self, *, kind: str, priority: int,
+                 label: Optional[str], **fields: Any) -> JobHandle:
+        with self._lock:
+            self._check_alive()
+            job_id = self._job_seq
+            self._job_seq += 1
+        handle = JobHandle(job_id, label or f"job-{job_id}", cluster=self)
+        job = Job(job_id=job_id, kind=kind, priority=priority,
+                  label=handle.label, handle=handle, **fields)
+        self.queue.submit(job)       # may raise ClusterSaturated
+        with self._lock:
+            self._unsettled.add(handle)
+            self.stats["jobs_submitted"] += 1
+            self._dispatch_cv.notify_all()
+        return handle
+
+    # -- client API: lifecycle ---------------------------------------------
+
+    def acquire_lease(self, label: str = "client",
+                      timeout: Optional[float] = None) -> CommLease:
+        """Lease a communicator slot outside the job queue (audited).
+
+        The returned lease only reserves the slot; release it with
+        ``lease.release()`` or MPIsan reports it at shutdown.
+        """
+        with self._lock:
+            self._check_alive()
+        return self.pool.acquire(label, timeout=timeout)
+
+    def add_rank(self) -> int:
+        """Admit one parked spare at the next directive boundary.
+
+        Returns the admitted world rank.  The joiner enters a fresh
+        membership generation whose genesis commit replicates the cluster's
+        committed state onto it via its ring buddy.
+        """
+        with self._lock:
+            self._check_alive()
+            if not self._spares:
+                raise ClusterError(
+                    f"no spare ranks left (capacity {self.capacity}, all "
+                    f"admitted); construct the cluster with more spares"
+                )
+            world_rank = self._spares.pop(0)
+            self._join_requests.append(world_rank)
+            self._dispatch_cv.notify_all()
+        return world_rank
+
+    def release_jobs(self) -> None:
+        """Release a ``hold_jobs=True`` cluster's dispatcher."""
+        with self._lock:
+            self._held = False
+            self._dispatch_cv.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted job has settled."""
+        with self._drain_cv:
+            if not self._drain_cv.wait_for(lambda: not self._unsettled,
+                                           timeout=timeout):
+                raise TimeoutError(
+                    f"{len(self._unsettled)} job(s) still unsettled after "
+                    f"{timeout}s"
+                )
+
+    def shutdown(self, timeout: Optional[float] = None
+                 ) -> Optional[LeakReport]:
+        """Drain queued jobs, stop the ranks, and run the MPIsan audit.
+
+        Further submissions are refused immediately; already-queued jobs
+        still run.  The audit raises :class:`~repro.mpi.sanitizer.
+        ResourceLeakError` on any leak in a failure-free life, and on
+        *lease* leaks always (a leaked lease is client-side bookkeeping,
+        meaningful regardless of rank failures; its report carries the
+        acquisition backtrace).  Returns the leak report otherwise.
+        """
+        with self._lock:
+            if self._did_shutdown:
+                return self._shutdown_report
+            self._did_shutdown = True
+            self._shutting_down = True
+            self._held = False       # a held queue would never drain
+            self._dispatch_cv.notify_all()
+        self.queue.close("the cluster is shutting down; submission refused")
+        join_budget = timeout if timeout is not None else self.machine.deadline
+        self._dispatcher.join(join_budget)
+        for t in self._threads:
+            t.join(join_budget if not self._wedged.is_set() else 1.0)
+        if self._monitor is not None:
+            self._wedged.set()       # idles the monitor; threads are gone
+        self._reject_unsettled(ClusterError(
+            "the cluster shut down before this job settled"))
+        return self._audit()
+
+    def _audit(self) -> Optional[LeakReport]:
+        auditor = self.machine.auditor
+        if not auditor.enabled:
+            return None
+        leaks = auditor.collect(self.machine)
+        if leaks and self.tracer is not NULL_TRACER:
+            _emit_leak_events(self.tracer, leaks)
+        self._shutdown_report = leaks
+        had_failures = bool(self.machine.failed_snapshot()) or \
+            self._wedge_error is not None
+        lease_leaks = [r for r in leaks if r.kind == "lease"]
+        if lease_leaks and had_failures:
+            raise ResourceLeakError(LeakReport(lease_leaks))
+        if leaks and not had_failures:
+            raise ResourceLeakError(leaks)
+        return leaks
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @property
+    def wedged(self) -> bool:
+        return self._wedge_error is not None
+
+    def _check_alive(self) -> None:
+        if self._shutting_down:
+            raise ClusterError(
+                "the cluster is shutting down; submission refused")
+        if self._wedge_error is not None:
+            raise ClusterError(
+                f"the cluster is wedged: {self._wedge_error}")
+
+    def _on_settled(self, handle: JobHandle) -> None:
+        with self._lock:
+            self._unsettled.discard(handle)
+            if handle.state == "done":
+                self.stats["jobs_done"] += 1
+            else:
+                self.stats["jobs_failed"] += 1
+            self._drain_cv.notify_all()
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _dispatch_main(self) -> None:
+        while True:
+            with self._lock:
+                self._dispatch_cv.wait_for(
+                    lambda: self._wedged.is_set()
+                    or self._join_requests
+                    or (not self._held
+                        and (len(self.queue) or self._shutting_down)))
+                if self._wedged.is_set():
+                    return
+                join = (self._join_requests.pop(0)
+                        if self._join_requests else None)
+            if join is not None:
+                self._directives.append(
+                    lambda i: _JoinDirective(index=i, world_rank=join))
+                continue
+            group = self.queue.pop_group(shape_of, self.batch_limit)
+            if group:
+                # blocks when every slot is leased: natural pipelining limit
+                lease = None
+                while lease is None:
+                    if self._wedged.is_set():
+                        return
+                    try:
+                        lease = self.pool._acquire(batch_label(group),
+                                                   timeout=0.25)
+                    except ClusterError:
+                        continue
+                self._directives.append(
+                    lambda i: _JobsDirective(index=i, jobs=tuple(group),
+                                             lease=lease))
+                with self._lock:
+                    self.stats["groups"] += 1
+                    if len(group) > 1:
+                        self.stats["batched_groups"] += 1
+                    for job in group:
+                        job.handle._running = True
+                continue
+            with self._lock:
+                if not (self._shutting_down and not self._join_requests
+                        and not len(self.queue)):
+                    continue
+            self._directives.append(lambda i: _ShutdownDirective(index=i))
+            return
+
+    # -- watchdog -----------------------------------------------------------
+
+    def _monitor_main(self) -> None:
+        while not self._wedged.wait(0.05):
+            if self._shutting_down and not self._unsettled:
+                return
+            index = self._directives.overdue(self.job_timeout)
+            if index is None:
+                continue
+            stacks = thread_stacks(self._threads)
+            self._wedge(RunTimeout(
+                f"cluster directive #{index} exceeded its "
+                f"{self.job_timeout:g}s job watchdog; {len(stacks)} rank(s) "
+                f"still running. Per-rank stacks:\n{format_stacks(stacks)}",
+                stacks,
+            ))
+            return
+
+    def _wedge(self, error: BaseException) -> None:
+        """Fail the stream: reject outstanding handles, stop accepting work."""
+        with self._lock:
+            if self._wedge_error is None:
+                self._wedge_error = error
+        self.queue.close(f"the cluster is wedged: {error}")
+        self._wedged.set()
+        self._directives.wake()
+        with self._lock:
+            self._dispatch_cv.notify_all()
+        with self._admission_cv:
+            self._admission_cv.notify_all()
+        self._reject_unsettled(error)
+
+    def _reject_unsettled(self, error: BaseException) -> None:
+        with self._lock:
+            pending = list(self._unsettled)
+        for handle in pending:
+            handle._settle(("err", error))
+
+    # -- service ranks ------------------------------------------------------
+
+    def _rank_main(self, world_rank: int) -> None:
+        if self._fuzzer is not None:
+            self._fuzzer.pause("spawn")
+        try:
+            if world_rank < self.num_ranks:
+                cursor, members, generation = 0, tuple(
+                    range(self.num_ranks)), 0
+                shards: list = []
+            else:
+                admitted = self._await_admission(world_rank)
+                if admitted is None:
+                    return
+                cursor, members, generation = admitted
+                shards = []
+            while True:
+                scope = self._build_scope(world_rank, generation, members,
+                                          shards)
+                outcome = self._serve(world_rank, scope, cursor)
+                if outcome is None:
+                    return
+                cursor, members, generation = outcome
+                shards = scope.shards
+        except ProcessKilled:
+            pass                     # the campaign already marked us failed
+        except BaseException as exc:  # noqa: BLE001 - wedge, don't vanish
+            if not self._wedged.is_set():
+                self._wedge(ClusterError(
+                    f"service rank {world_rank} failed: "
+                    f"{type(exc).__name__}: {exc}"))
+
+    def _await_admission(self, world_rank: int
+                         ) -> Optional[tuple[int, tuple[int, ...], int]]:
+        with self._admission_cv:
+            while world_rank not in self._admission:
+                if self._wedged.is_set() or self._shutting_down:
+                    return None
+                self._admission_cv.wait(0.05)
+            return self._admission[world_rank]
+
+    def _build_scope(self, world_rank: int, generation: int,
+                     members: tuple[int, ...], shards: list
+                     ) -> ResilientScope:
+        state = self.machine.get_or_create_comm(
+            ("cluster", generation, members), members)
+        raw = RawComm(self.machine, state, world_rank)
+        comm = ClusterComm(raw)
+        return ResilientScope(
+            comm, shards, label=f"cluster-gen{generation}",
+            max_attempts=self.max_attempts,
+            deadline=self.recovery_deadline,
+        )
+
+    def _serve(self, world_rank: int, scope: ResilientScope, cursor: int
+               ) -> Optional[tuple[int, tuple[int, ...], int]]:
+        """Consume directives until a membership change or shutdown.
+
+        Returns ``None`` to stop serving, or ``(next cursor, members,
+        generation)`` to rebuild the scope and continue.
+        """
+        while True:
+            directive = self._directives.get(cursor, self._wedged)
+            if directive is None or isinstance(directive, _ShutdownDirective):
+                return None
+            if isinstance(directive, _JoinDirective):
+                members = tuple(sorted(
+                    set(scope.comm.raw.state.members)
+                    | {directive.world_rank}))
+                generation = directive.index + 1
+                with self._admission_cv:
+                    self._admission.setdefault(
+                        directive.world_rank,
+                        (cursor + 1, members, generation))
+                    self._admission_cv.notify_all()
+                if scope.comm.raw.rank == 0:
+                    with self._lock:
+                        self.stats["joins"].append(directive.world_rank)
+                return cursor + 1, members, generation
+            self._directives.mark_started(directive.index)
+            self._execute(scope, directive)
+            cursor += 1
+
+    # -- job execution ------------------------------------------------------
+
+    def _execute(self, scope: ResilientScope, directive: _JobsDirective
+                 ) -> None:
+        """Run one directive's job group under the resilient scope."""
+        jobs = directive.jobs
+        outcomes: dict[int, tuple[str, Any]] = {}
+        job = jobs[0]
+        if len(jobs) == 1 and job.kind == "call":
+            scope.run(self._call_epoch(job, directive, outcomes))
+        elif len(jobs) == 1 and job.kind == "epochs":
+            for epoch in range(job.epochs):
+                scope.run(self._epochs_epoch(job, directive, outcomes, epoch))
+        else:
+            scope.run(self._batch_epoch(jobs, directive, outcomes))
+        # the commit is agreement-gated, so every survivor reaches here with
+        # the same committed membership; its local rank 0 settles the group
+        # (no MPI op sits between the commit and this point, and faults fire
+        # only at op entries, so the fulfiller cannot die in the window)
+        if scope.comm.raw.rank == 0:
+            for j in jobs:
+                j.handle._settle(outcomes.get(
+                    j.job_id,
+                    ("err", ClusterError(
+                        f"job {j.label!r} produced no outcome"))))
+            directive.lease.release()
+            self._directives.mark_finished(directive.index)
+            if scope.recovered_from:
+                with self._lock:
+                    known = set(self.stats["recoveries"])
+                    self.stats["recoveries"].extend(
+                        w for w in scope.recovered_from if w not in known)
+
+    def _leased_comm(self, comm, slot: int):
+        """The leased sub-communicator for ``slot`` on this rank.
+
+        Rebuilt lazily (k collective dups) whenever the scope communicator
+        changed — epoch functions all enter before any job op, so the
+        rebuild is collectively aligned; a failure mid-rebuild is recovered
+        like any epoch failure and retried on the shrunk communicator.
+        """
+        pool = self._rank_pools[comm.raw.world_rank]
+        if pool["base"] is not comm.raw:
+            pool["comms"] = [comm.dup() for _ in range(self.lease_slots)]
+            pool["base"] = comm.raw
+        return pool["comms"][slot]
+
+    def _revoke_leases(self, comm) -> None:
+        """Poison every leased dup of the scope communicator, machine-wide.
+
+        The scope only revokes its *own* communicator on failure; a peer
+        blocked inside a collective on a leased dup would never see that.
+        Dup ids are deterministic (``(comm_id, "dup", seq)``), so the
+        detecting rank can mark all sibling dups revoked directly — peers
+        stuck in them error out with ``MPIRevokedError`` and rejoin the
+        recovery, exactly like the scope-communicator path.
+        """
+        raw = comm.raw
+        for seq in range(self.lease_slots):
+            state = self.machine.get_or_create_comm(
+                (raw.comm_id, "dup", seq), raw.state.members)
+            state.revoked.set()
+
+    def _with_lease(self, comm, slot: int, label: str,
+                    body: Callable) -> Any:
+        """Run ``body(leased_comm)`` with the job label stamped on its ops.
+
+        Any process-failure signal — bindings-level ``MPIFailureDetected``
+        from wrapped ops, or raw ``RawProcessFailure``/``RawCommRevoked``
+        from jobs using ``comm.raw`` directly — revokes the leased dups
+        (unblocking peers still inside them) and re-raises as
+        ``MPIFailureDetected`` so the resilient scope recovers.
+        """
+        try:
+            leased = self._leased_comm(comm, slot)
+            leased.raw._job_label = label
+            try:
+                return body(leased)
+            finally:
+                leased.raw._job_label = None
+        except (MPIFailureDetected, RawProcessFailure, RawCommRevoked) as exc:
+            self._revoke_leases(comm)
+            if isinstance(exc, MPIFailureDetected):
+                raise
+            raise MPIFailureDetected(
+                getattr(exc, "failed_ranks", ()), str(exc)) from exc
+
+    def _call_epoch(self, job: Job, directive: _JobsDirective,
+                    outcomes: dict) -> Callable:
+        def body(leased):
+            try:
+                value = job.fn(leased, *job.args)
+            except (MPIFailureDetected, RawProcessFailure, RawCommRevoked,
+                    RawDeadlockError):
+                raise            # runtime signals, never per-job outcomes
+            except Exception as exc:  # noqa: BLE001 - captured per job
+                outcomes[job.job_id] = ("err", exc)
+            else:
+                outcomes[job.job_id] = ("ok", value)
+
+        def epoch(comm, shards, _epoch):
+            self._with_lease(comm, directive.lease.slot, job.label, body)
+            return shards
+        return epoch
+
+    def _epochs_epoch(self, job: Job, directive: _JobsDirective,
+                      outcomes: dict, epoch_index: int) -> Callable:
+        def epoch(comm, shards, _epoch):
+            def body(leased):
+                tag = ("job", job.job_id)
+                mine = sorted(
+                    (key[2], state) for key, state in shards
+                    if isinstance(key, tuple) and key[:2] == tag)
+                others = [(key, state) for key, state in shards
+                          if not (isinstance(key, tuple) and key[:2] == tag)]
+                if epoch_index == 0 and not mine:
+                    # first attempt seeds from the submission; vkeys are
+                    # strided over whatever membership survived to here
+                    size = leased.raw.size
+                    mine = [(vkey, state) for vkey, state
+                            in enumerate(job.initial_states)
+                            if vkey % size == leased.raw.rank]
+                updated = job.epoch_fn(leased, mine, epoch_index)
+                if updated is None:
+                    updated = mine
+                if epoch_index == job.epochs - 1:
+                    rows = leased._guard(
+                        lambda: leased.raw.gather(updated, 0))
+                    if rows is not None:
+                        final = sorted(pair for row in rows for pair in row)
+                        outcomes[job.job_id] = (
+                            "ok", [state for _, state in final])
+                    return others
+                return others + [(tag + (vkey,), state)
+                                 for vkey, state in updated]
+            return self._with_lease(comm, directive.lease.slot, job.label,
+                                    body)
+        return epoch
+
+    def _batch_epoch(self, jobs: tuple[Job, ...],
+                     directive: _JobsDirective, outcomes: dict) -> Callable:
+        def body(leased):
+            for job, outcome in zip(jobs, run_batch(leased, list(jobs))):
+                outcomes[job.job_id] = outcome
+
+        def epoch(comm, shards, _epoch):
+            self._with_lease(comm, directive.lease.slot,
+                             batch_label(list(jobs)), body)
+            return shards
+        return epoch

@@ -1,0 +1,217 @@
+"""Jobs, job handles, and the admission-controlled priority queue.
+
+The service side of the paper's "millions of users" story is a *stream* of
+small jobs, not one big run.  A submitted job becomes a :class:`JobHandle`
+(a thread-safe future the client blocks on) plus an internal :class:`Job`
+record queued in a :class:`JobQueue`: a bounded priority queue whose
+admission control rejects submissions beyond a high-water mark with
+:class:`ClusterSaturated` — backpressure by refusal, the only kind that
+cannot deadlock a full service.
+
+Job kinds (see :class:`repro.service.cluster.Cluster` for the submit API):
+
+- ``"call"`` — run ``fn(comm, *args)`` once on the leased communicator;
+- ``"epochs"`` — an epoch-structured job whose per-virtual-rank states live
+  in the cluster's resilient shards, so a mid-job failure restarts from the
+  last committed epoch;
+- ``"bcast"`` / ``"allreduce"`` — small collective jobs with a *shape*
+  (:func:`repro.service.batching.shape_of`); compatible shapes are coalesced
+  into one shared collective by the dispatcher.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import KampingError
+
+
+class ClusterError(KampingError):
+    """Base class for cluster-service errors."""
+
+
+class ClusterSaturated(ClusterError):
+    """The job queue is beyond its high-water mark; the submission was rejected.
+
+    Admission control never blocks the submitting thread: a saturated
+    service answers immediately so the caller can shed load or retry later.
+    """
+
+
+class JobHandle:
+    """Client-side future for one submitted job.
+
+    Settlement is idempotent and first-write-wins: a job that times out
+    (:class:`~repro.mpi.errors.RunTimeout` via the cluster watchdog) stays
+    failed even if a straggling rank later commits it.
+    """
+
+    def __init__(self, job_id: int, label: str, cluster=None):
+        self.job_id = job_id
+        self.label = label
+        self._cluster = cluster
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._outcome: Optional[tuple[str, Any]] = None
+        self._running = False
+
+    # -- service side ------------------------------------------------------
+
+    def _settle(self, outcome: tuple[str, Any]) -> bool:
+        """Record ``("ok", value)`` / ``("err", exc)``; first write wins."""
+        with self._lock:
+            if self._outcome is not None:
+                return False
+            self._outcome = outcome
+        self._event.set()
+        if self._cluster is not None:
+            self._cluster._on_settled(self)
+        return True
+
+    # -- client side -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"queued"`` | ``"running"`` | ``"done"`` | ``"failed"``."""
+        outcome = self._outcome
+        if outcome is None:
+            return "running" if self._running else "queued"
+        return "done" if outcome[0] == "ok" else "failed"
+
+    def done(self) -> bool:
+        return self._outcome is not None
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the job's result; re-raises the job's failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.label!r} not settled after {timeout}s"
+            )
+        status, value = self._outcome
+        if status == "err":
+            raise value
+        return value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block for settlement; the failure exception, or ``None`` on success."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.label!r} not settled after {timeout}s"
+            )
+        status, value = self._outcome
+        return value if status == "err" else None
+
+    def trace(self) -> list:
+        """This job's slice of the cluster trace (``[]`` unless traced).
+
+        Per-job trace scoping: service ranks stamp the job label on every op
+        issued inside the leased communicator, so one shared recorder can be
+        sliced per job.  Batched jobs share one collective stamped with the
+        batch label and therefore return ``[]`` here.
+        """
+        if self._cluster is None:
+            return []
+        return self._cluster.tracer.events_for_job(self.label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle({self.label!r}, {self.state})"
+
+
+@dataclass
+class Job:
+    """Internal job record (clients hold the :class:`JobHandle`)."""
+
+    job_id: int
+    kind: str                # "call" | "epochs" | "bcast" | "allreduce"
+    priority: int
+    label: str
+    handle: JobHandle
+    fn: Optional[Callable] = None
+    args: tuple = ()
+    epoch_fn: Optional[Callable] = None
+    initial_states: tuple = ()
+    epochs: int = 1
+    payload: Any = None
+    root: int = 0
+    values: tuple = ()
+    op: Any = None
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue with high-water admission control.
+
+    Ordering is ``(priority, submission order)`` — smaller priority values
+    run earlier, ties in submission order.  ``high_water`` (default: the
+    full ``depth``) is the admission threshold: a submission that would push
+    the queued count past it raises :class:`ClusterSaturated`.  A
+    ``high_water`` below ``depth`` leaves headroom the service itself may
+    use (the dispatcher never re-queues today; the headroom is API room).
+    """
+
+    def __init__(self, depth: int, high_water: Optional[int] = None):
+        if depth < 1:
+            raise ClusterError(f"queue depth must be >= 1, got {depth}")
+        if high_water is None:
+            high_water = depth
+        if not 1 <= high_water <= depth:
+            raise ClusterError(
+                f"high_water must be in [1, depth={depth}], got {high_water}"
+            )
+        self.depth = depth
+        self.high_water = high_water
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = 0
+        self._closed: Optional[str] = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def close(self, reason: str) -> None:
+        """Refuse further submissions (``submit`` raises ``ClusterError``)."""
+        with self._lock:
+            self._closed = reason
+
+    def submit(self, job: Job) -> None:
+        with self._lock:
+            if self._closed is not None:
+                raise ClusterError(self._closed)
+            if len(self._heap) >= self.high_water:
+                raise ClusterSaturated(
+                    f"job queue is saturated ({len(self._heap)} queued, "
+                    f"high-water mark {self.high_water}); retry later or "
+                    f"raise queue_depth/high_water"
+                )
+            heapq.heappush(self._heap, (job.priority, self._seq, job))
+            self._seq += 1
+
+    def pop_group(self, shape_of: Callable[[Job], Any], limit: int
+                  ) -> list[Job]:
+        """Pop the head job plus every coalescible companion (batching).
+
+        Companions share the head's exact ``(priority, shape)`` — only
+        same-shape, same-priority jobs coalesce, so batching can never
+        reorder across priorities — and join in submission order, up to
+        ``limit`` jobs total.  Returns ``[]`` when the queue is empty.
+        """
+        with self._lock:
+            if not self._heap:
+                return []
+            priority, _, head = heapq.heappop(self._heap)
+            shape = shape_of(head)
+            if shape is None or limit <= 1:
+                return [head]
+            companions = sorted(
+                (entry for entry in self._heap
+                 if entry[0] == priority and shape_of(entry[2]) == shape),
+                key=lambda entry: entry[1],
+            )[:limit - 1]
+            if companions:
+                taken = {id(entry) for entry in companions}
+                self._heap = [e for e in self._heap if id(e) not in taken]
+                heapq.heapify(self._heap)
+            return [head] + [job for _, _, job in companions]

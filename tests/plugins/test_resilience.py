@@ -332,3 +332,108 @@ class TestResilientLabelProp:
         res, camp, labels = self._run([], 0)
         assert not res.failed and not camp.injected
         assert np.array_equal(labels, lp_baseline)
+
+
+# ---------------------------------------------------------------------------
+# retry-policy knobs: max_attempts / deadline
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    """``max_attempts=`` / ``deadline=`` bound each epoch's recovery loop."""
+
+    def test_max_attempts_validated(self):
+        def main(comm):
+            try:
+                ResilientScope(comm, [], max_attempts=0)
+            except KampingError as e:
+                return "first try counts as an attempt" in str(e)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(res.values)
+
+    def test_deadline_validated(self):
+        def main(comm):
+            try:
+                run_resilient(comm, lambda c, w, e: w, [], deadline=0.0)
+            except KampingError as e:
+                return "deadline must be > 0" in str(e)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(res.values)
+
+    def test_attempt_budget_exhaustion(self):
+        """max_attempts counts the first try: a budget of 3 runs the epoch
+        exactly three times before RecoveryFailed."""
+        def main(comm):
+            tries = []
+
+            def epoch(c, shards, _epoch):
+                tries.append(None)
+                raise MPIFailureDetected("synthetic blown attempt")
+
+            scope = ResilientScope(comm, [("k", comm.rank)],
+                                   max_attempts=3, backoff_initial=1e-4,
+                                   backoff_cap=1e-3)
+            try:
+                scope.run(epoch)
+            except RecoveryFailed as e:
+                return len(tries), "max_attempts=3" in str(e)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(v == (3, True) for v in res.values)
+
+    def test_success_on_last_attempt_commits(self):
+        """An epoch that stops failing exactly when the budget runs out must
+        commit, not raise — the budget bounds retries, not successes."""
+        def main(comm):
+            tries = []
+
+            def epoch(c, shards, _epoch):
+                tries.append(None)
+                if len(tries) < 3:
+                    raise MPIFailureDetected("synthetic blown attempt")
+                (key, val), = shards
+                return [(key, val + 100)]
+
+            scope = ResilientScope(comm, [("k", 7)], max_attempts=3,
+                                   backoff_initial=1e-4, backoff_cap=1e-3)
+            scope.run(epoch)
+            return scope.shards, len(tries)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(v == ([("k", 107)], 3) for v in res.values)
+
+    def test_deadline_expiry_raises_between_attempts(self):
+        def main(comm):
+            def epoch(c, shards, _epoch):
+                raise MPIFailureDetected("synthetic blown attempt")
+
+            scope = ResilientScope(comm, [], deadline=1e-6,
+                                   backoff_initial=1e-4, backoff_cap=1e-3)
+            try:
+                scope.run(epoch)
+            except RecoveryFailed as e:
+                return "recovery deadline expired" in str(e)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(res.values)
+
+    def test_legacy_max_retries_budget_unchanged(self):
+        """Default policy (no max_attempts) still allows max_retries + 1
+        total tries with the historical message."""
+        def main(comm):
+            tries = []
+
+            def epoch(c, shards, _epoch):
+                tries.append(None)
+                raise MPIFailureDetected("synthetic blown attempt")
+
+            try:
+                run_resilient(comm, epoch, [], max_retries=3,
+                              backoff_initial=1e-4, backoff_cap=1e-3)
+            except RecoveryFailed as e:
+                return len(tries), "after 3 recoveries" in str(e)
+
+        res = runk(main, 2, comm_class=FTComm)
+        assert all(v == (4, True) for v in res.values)
